@@ -1,0 +1,44 @@
+// Command nl2sql-server serves the PURPLE pipeline over HTTP.
+//
+//	nl2sql-server -addr :8080 -scale 0.1
+//	curl localhost:8080/databases
+//	curl -X POST localhost:8080/translate -d '{"task_id": 3}'
+//	curl -X POST localhost:8080/execute -d '{"database":"tv","sql":"SELECT COUNT(*) FROM cartoon"}'
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/llm"
+	"repro/internal/service"
+	"repro/internal/spider"
+)
+
+func main() {
+	var (
+		addr  = flag.String("addr", ":8080", "listen address")
+		scale = flag.Float64("scale", 0.1, "corpus scale")
+		seed  = flag.Int64("seed", 1, "corpus seed")
+	)
+	flag.Parse()
+
+	start := time.Now()
+	log.Printf("generating corpus (scale=%.2f) and training pipeline...", *scale)
+	corpus := spider.GenerateSmall(*seed, *scale)
+	pipeline := core.New(corpus.Train.Examples, llm.NewSim(llm.ChatGPT), core.DefaultConfig())
+	log.Printf("ready in %v; %d dev tasks over %d databases",
+		time.Since(start).Round(time.Millisecond), len(corpus.Dev.Examples), len(corpus.Dev.Databases))
+
+	srv := &http.Server{
+		Addr:         *addr,
+		Handler:      service.New(pipeline, corpus).Handler(),
+		ReadTimeout:  30 * time.Second,
+		WriteTimeout: 120 * time.Second,
+	}
+	log.Printf("listening on %s", *addr)
+	log.Fatal(srv.ListenAndServe())
+}

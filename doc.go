@@ -1,0 +1,6 @@
+// Package repro is a from-scratch Go reproduction of "PURPLE: Making a
+// Large Language Model a Better SQL Writer" (ICDE 2024). The library lives
+// under internal/ (see DESIGN.md for the module map); the root package
+// hosts the benchmark harness (bench_test.go) that regenerates every table
+// and figure of the paper's evaluation section.
+package repro

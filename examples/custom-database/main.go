@@ -1,0 +1,123 @@
+// Custom-database: use the library's components directly on a hand-built
+// schema — the integration path for a real deployment where the LLM call is
+// an external service. It shows (1) schema pruning with the trained
+// classifier + Steiner tree, (2) skeleton prediction, (3) automaton-based
+// demonstration selection, (4) prompt assembly, and (5) the database-
+// adaption fixers repairing hallucinated SQL against the custom schema.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/adaption"
+	"repro/internal/classifier"
+	"repro/internal/prompt"
+	"repro/internal/schema"
+	"repro/internal/selection"
+	"repro/internal/spider"
+	"repro/internal/sqlir"
+
+	"repro/internal/automaton"
+	"repro/internal/predictor"
+)
+
+func customDB() *schema.Database {
+	return &schema.Database{
+		Name: "bookstore",
+		Tables: []*schema.Table{
+			{
+				Name: "publisher", NLName: "publisher", PrimaryKey: "id",
+				Columns: []schema.Column{
+					{Name: "id", Type: schema.TypeNumber, NLName: "id"},
+					{Name: "publisher_name", Type: schema.TypeText, NLName: "publisher name"},
+					{Name: "city", Type: schema.TypeText, NLName: "city"},
+				},
+				Rows: [][]schema.Value{
+					{schema.N(1), schema.S("Norton"), schema.S("Springfield")},
+					{schema.N(2), schema.S("Viking"), schema.S("Riverton")},
+				},
+			},
+			{
+				Name: "book", NLName: "book", PrimaryKey: "id",
+				Columns: []schema.Column{
+					{Name: "id", Type: schema.TypeNumber, NLName: "id"},
+					{Name: "publisher_id", Type: schema.TypeNumber, NLName: "publisher id"},
+					{Name: "title", Type: schema.TypeText, NLName: "title"},
+					{Name: "price", Type: schema.TypeNumber, NLName: "price"},
+				},
+				Rows: [][]schema.Value{
+					{schema.N(1), schema.N(1), schema.S("Gopher Tales"), schema.N(12)},
+					{schema.N(2), schema.N(2), schema.S("SQL at Dusk"), schema.N(30)},
+					{schema.N(3), schema.N(1), schema.S("Steiner Trees"), schema.N(25)},
+				},
+			},
+		},
+		ForeignKeys: []schema.ForeignKey{
+			{FromTable: "book", FromColumn: "publisher_id", ToTable: "publisher", ToColumn: "id"},
+		},
+	}
+}
+
+func main() {
+	// Train the substrate models on the benchmark's training split — on a
+	// real deployment these would be your annotated warehouse queries.
+	corpus := spider.GenerateSmall(9, 0.06)
+	clf := classifier.Train(corpus.Train.Examples)
+	pred := predictor.Train(corpus.Train.Examples)
+	var skeletons [][]string
+	var demos []prompt.Demo
+	for _, e := range corpus.Train.Examples {
+		skeletons = append(skeletons, sqlir.Skeleton(e.Gold))
+		demos = append(demos, prompt.Demo{DB: e.DB, NL: e.NL, SQL: e.GoldSQL})
+	}
+	hier := automaton.BuildHierarchy(skeletons)
+
+	db := customDB()
+	nl := "What are the titles of books published by a publisher whose city is Springfield?"
+
+	// 1. Schema pruning.
+	pruned := classifier.Prune(clf, nl, db, classifier.DefaultPruneConfig())
+	fmt.Println("pruned schema keeps tables:", pruned.KeptTables)
+
+	// 2. Skeleton prediction (top-3 with probabilities).
+	preds := pred.Predict(nl, 3)
+	var predTokens [][]string
+	for i, p := range preds {
+		fmt.Printf("skeleton %d (p=%.2f): %s\n", i+1, p.Prob, p.Skeleton())
+		predTokens = append(predTokens, p.Tokens)
+	}
+
+	// 3. Demonstration selection via the four-level automaton (Algorithm 1).
+	order := selection.Select(hier, predTokens, selection.Options{})
+	fmt.Printf("selected %d demonstrations; first picks:\n", len(order))
+	for _, i := range order[:min(3, len(order))] {
+		fmt.Println("  ", demos[i].SQL)
+	}
+
+	// 4. Prompt assembly under a 2048-token budget — this text is what a
+	// real LLM service would receive.
+	var ordered []prompt.Demo
+	for _, i := range order {
+		ordered = append(ordered, demos[i])
+	}
+	built := prompt.Build("", ordered, pruned.DB, nl, 2048)
+	fmt.Printf("prompt: %d tokens, %d demonstrations\n", built.InputTokens, built.DemosUsed)
+
+	// 5. Database adaption: repair typical hallucinations from the LLM.
+	fixer := &adaption.Fixer{DB: db}
+	for _, buggy := range []string{
+		"SELECT T2.title FROM book AS T1 JOIN publisher AS T2 ON T1.publisher_id = T2.id WHERE T2.city = 'Springfield'",
+		"SELECT CONCAT(title, ' by ', publisher_name) FROM book JOIN publisher ON publisher_id = publisher.id",
+		"SELECT titles FROM book",
+	} {
+		fixed, ok := fixer.Adapt(buggy)
+		fmt.Printf("buggy: %s\nfixed: %s (executable=%v)\n\n", buggy, fixed, ok)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

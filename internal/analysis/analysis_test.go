@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/llm"
+	"repro/internal/spider"
+	"repro/internal/sqlir"
+)
+
+func corpus(t *testing.T) *spider.Corpus {
+	t.Helper()
+	return spider.GenerateSmall(17, 0.06)
+}
+
+func TestClassifyCorrect(t *testing.T) {
+	c := corpus(t)
+	e := c.Dev.Examples[0]
+	if got := Classify(e, e.GoldSQL); got != Correct {
+		t.Errorf("gold classified %s", got)
+	}
+}
+
+func TestClassifyUnparseable(t *testing.T) {
+	c := corpus(t)
+	if got := Classify(c.Dev.Examples[0], "((("); got != Unparseable {
+		t.Errorf("got %s", got)
+	}
+}
+
+func TestClassifyExecErrors(t *testing.T) {
+	c := corpus(t)
+	e := c.Dev.Examples[0]
+	tbl := e.Gold.From.Base.Table
+	if got := Classify(e, "SELECT bogus_col FROM "+tbl); got != ExecUnknownItem {
+		t.Errorf("unknown column classified %s", got)
+	}
+	if got := Classify(e, "SELECT CONCAT(a, b) FROM "+tbl); got != ExecUnknownItem && got != ExecBadFunction {
+		t.Errorf("CONCAT classified %s", got)
+	}
+}
+
+func TestClassifyCompositionVsLinking(t *testing.T) {
+	c := corpus(t)
+	// Find a superlative example: its ORDER-LIMIT rewrite is a composition
+	// change; a value tweak is a linking error.
+	for _, e := range c.Dev.Examples {
+		if e.Class != spider.ClassSuperlative {
+			continue
+		}
+		m := sqlir.Clone(e.Gold)
+		if b, ok := m.Where.(*sqlir.Binary); ok {
+			if sub, ok2 := b.R.(*sqlir.Subquery); ok2 {
+				if agg, ok3 := sub.Sel.Items[0].Expr.(*sqlir.Agg); ok3 {
+					m.Where = nil
+					m.OrderBy = []sqlir.OrderItem{{Expr: agg.Args[0], Desc: agg.Fn == "MAX"}}
+					m.Limit, m.HasLimit = 1, true
+				}
+			}
+		}
+		got := Classify(e, sqlir.String(m))
+		if got != CompositionError && got != LuckyExecution {
+			t.Errorf("ORDER-LIMIT rewrite classified %s", got)
+		}
+		return
+	}
+	t.Skip("no superlative example in draw")
+}
+
+func TestClassifySurfaceOnly(t *testing.T) {
+	c := corpus(t)
+	for _, e := range c.Dev.Examples {
+		// COUNT(*) -> COUNT(id) on a single-table query is surface-only.
+		if len(e.Gold.From.Joins) != 0 || e.Gold.Compound != nil {
+			continue
+		}
+		m := sqlir.Clone(e.Gold)
+		changed := false
+		sqlir.WalkExprs(m, func(x sqlir.Expr) {
+			if a, ok := x.(*sqlir.Agg); ok && a.Fn == "COUNT" && len(a.Args) == 1 {
+				if _, star := a.Args[0].(*sqlir.Star); star {
+					a.Args[0] = &sqlir.ColumnRef{Column: "id"}
+					changed = true
+				}
+			}
+		})
+		if !changed {
+			continue
+		}
+		if got := Classify(e, sqlir.String(m)); got != SurfaceOnly {
+			t.Errorf("COUNT drift classified %s for %s", got, e.GoldSQL)
+		}
+		return
+	}
+	t.Skip("no COUNT(*) example in draw")
+}
+
+func TestRunReport(t *testing.T) {
+	c := corpus(t)
+	tr := &baselines.ChatGPTSQL{Client: llm.NewSim(llm.ChatGPT), Seed: 1}
+	r := Run(tr, c.Dev, 40)
+	if r.Total != 40 {
+		t.Errorf("total = %d", r.Total)
+	}
+	sum := 0
+	for _, n := range r.Counts {
+		sum += n
+	}
+	if sum != r.Total {
+		t.Errorf("categories sum to %d, want %d", sum, r.Total)
+	}
+	out := r.String()
+	if !strings.Contains(out, "failure analysis") {
+		t.Errorf("report rendering broken:\n%s", out)
+	}
+}
+
+// TestZeroShotHasMoreCompositionErrors verifies the paper's diagnosis: the
+// zero-shot baseline fails on operator composition far more often than
+// PURPLE does.
+func TestZeroShotHasMoreCompositionErrors(t *testing.T) {
+	c := corpus(t)
+	zero := Run(&baselines.ChatGPTSQL{Client: llm.NewSim(llm.ChatGPT), Seed: 1}, c.Dev, 60)
+	cfg := core.DefaultConfig()
+	cfg.Consistency = 5
+	purple := Run(core.New(c.Train.Examples, llm.NewSim(llm.ChatGPT), cfg), c.Dev, 60)
+	zc := zero.Counts[CompositionError] + zero.Counts[LuckyExecution]
+	pc := purple.Counts[CompositionError] + purple.Counts[LuckyExecution]
+	if pc >= zc {
+		t.Errorf("PURPLE composition errors (%d) should be below zero-shot (%d)", pc, zc)
+	}
+}

@@ -1,0 +1,264 @@
+// Package classifier implements PURPLE's table-column relevance model
+// (Section IV-A1), the stand-in for the RESDSQL cross-encoder. It is trained
+// on the benchmark's training split: labels are the tables and columns used
+// by the gold SQL, and the model combines direct lexical overlap between the
+// NL query and schema-item names with word↔name-token association statistics
+// learned from the training data (the focal-loss cross-encoder's calibrated
+// probabilities are approximated by a bounded additive score).
+package classifier
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/schema"
+	"repro/internal/spider"
+	"repro/internal/sqlir"
+)
+
+// Model scores schema items for relevance to an NL query.
+type Model struct {
+	// assoc[word][nameToken] counts training co-occurrences of an NL word
+	// with a name token of a used schema item.
+	assoc map[string]map[string]float64
+	// wordTotal[word] counts training occurrences of the word.
+	wordTotal map[string]float64
+}
+
+// Train fits the model on training examples.
+func Train(examples []*spider.Example) *Model {
+	m := &Model{assoc: map[string]map[string]float64{}, wordTotal: map[string]float64{}}
+	for _, e := range examples {
+		usedT, usedC := UsedItems(e.Gold, e.DB)
+		words := contentWords(e.NL)
+		var nameTokens []string
+		for t := range usedT {
+			nameTokens = append(nameTokens, nameTokensOf(t)...)
+		}
+		for tc := range usedC {
+			parts := strings.SplitN(tc, ".", 2)
+			nameTokens = append(nameTokens, nameTokensOf(parts[len(parts)-1])...)
+		}
+		for _, w := range words {
+			m.wordTotal[w]++
+			row := m.assoc[w]
+			if row == nil {
+				row = map[string]float64{}
+				m.assoc[w] = row
+			}
+			for _, nt := range nameTokens {
+				row[nt]++
+			}
+		}
+	}
+	return m
+}
+
+// UsedItems extracts the tables and columns referenced by a query,
+// resolving aliases and unqualified columns against the database. Tables are
+// lower-cased names; columns are "table.column". These are the training
+// labels (presence/absence per item, as in RESDSQL).
+func UsedItems(sel *sqlir.Select, db *schema.Database) (tables map[string]bool, columns map[string]bool) {
+	tables = map[string]bool{}
+	columns = map[string]bool{}
+	sqlir.WalkSelects(sel, func(s *sqlir.Select) {
+		alias := map[string]string{}
+		var fromTables []string
+		reg := func(tr sqlir.TableRef) {
+			tn := strings.ToLower(tr.Table)
+			tables[tn] = true
+			fromTables = append(fromTables, tn)
+			alias[strings.ToLower(tr.Name())] = tn
+		}
+		reg(s.From.Base)
+		for _, j := range s.From.Joins {
+			reg(j.Table)
+		}
+		resolve := func(c *sqlir.ColumnRef) {
+			if c == nil || c.Column == "*" {
+				return
+			}
+			col := strings.ToLower(c.Column)
+			if c.Table != "" {
+				if tn, ok := alias[strings.ToLower(c.Table)]; ok {
+					columns[tn+"."+col] = true
+					return
+				}
+				columns[strings.ToLower(c.Table)+"."+col] = true
+				return
+			}
+			for _, tn := range fromTables {
+				if t := db.Table(tn); t != nil && t.HasColumn(col) {
+					columns[tn+"."+col] = true
+					return
+				}
+			}
+		}
+		for _, j := range s.From.Joins {
+			resolve(j.Left)
+			resolve(j.Right)
+		}
+		sqlir.WalkExprs(s, func(e sqlir.Expr) {
+			if c, ok := e.(*sqlir.ColumnRef); ok {
+				resolve(c)
+			}
+		})
+	})
+	return tables, columns
+}
+
+// ScoreTables returns a relevance probability per table name for the query.
+func (m *Model) ScoreTables(nl string, db *schema.Database) map[string]float64 {
+	words := contentWords(nl)
+	out := map[string]float64{}
+	for _, t := range db.Tables {
+		out[strings.ToLower(t.Name)] = m.scoreItem(words, itemNameVariants(t.Name, t.NLName))
+	}
+	return out
+}
+
+// ScoreColumns returns a relevance probability per column of one table.
+func (m *Model) ScoreColumns(nl string, t *schema.Table) map[string]float64 {
+	words := contentWords(nl)
+	out := map[string]float64{}
+	for _, c := range t.Columns {
+		out[strings.ToLower(c.Name)] = m.scoreItem(words, itemNameVariants(c.Name, c.NLName))
+	}
+	return out
+}
+
+// scoreItem produces a bounded [0,1] relevance score: the maximum of direct
+// lexical recall and the learned association signal.
+func (m *Model) scoreItem(nlWords []string, variants [][]string) float64 {
+	wordSet := map[string]bool{}
+	for _, w := range nlWords {
+		wordSet[w] = true
+	}
+	best := 0.0
+	for _, tokens := range variants {
+		if len(tokens) == 0 {
+			continue
+		}
+		hit := 0
+		for _, tok := range tokens {
+			if wordSet[tok] {
+				hit++
+			}
+		}
+		lex := float64(hit) / float64(len(tokens))
+		if lex > best {
+			best = lex
+		}
+		// learned association: mean over NL words of the normalized
+		// co-occurrence with this item's tokens.
+		var learned float64
+		var used float64
+		for _, w := range nlWords {
+			total := m.wordTotal[w]
+			if total < 3 {
+				continue
+			}
+			row := m.assoc[w]
+			var s float64
+			for _, tok := range tokens {
+				if v := row[tok]; v/total > s {
+					s = v / total
+				}
+			}
+			learned += s
+			used++
+		}
+		if used > 0 {
+			learned = learned / used
+			// Associations are diffuse; damp them below direct matches.
+			if l := learned * 0.85; l > best {
+				best = l
+			}
+		}
+	}
+	if best > 1 {
+		best = 1
+	}
+	return best
+}
+
+// nameTokensOf splits a schema identifier into lower-cased tokens.
+func nameTokensOf(name string) []string {
+	return strings.Split(strings.ToLower(name), "_")
+}
+
+// itemNameVariants lists token sequences for an item: SQL name tokens and NL
+// name words.
+func itemNameVariants(sqlName, nlName string) [][]string {
+	v := [][]string{nameTokensOf(sqlName)}
+	if nlName != "" {
+		v = append(v, strings.Fields(strings.ToLower(nlName)))
+	}
+	return v
+}
+
+var stopwords = map[string]bool{
+	"the": true, "a": true, "an": true, "of": true, "all": true, "are": true,
+	"is": true, "what": true, "which": true, "how": true, "many": true,
+	"list": true, "find": true, "whose": true, "with": true, "that": true,
+	"and": true, "or": true, "to": true, "do": true, "not": true, "have": true,
+	"any": true, "for": true, "each": true, "there": true, "every": true,
+	"in": true, "than": true, "at": true, "by": true, "s": true,
+}
+
+// contentWords tokenizes NL into lower-cased content words, singularizing
+// trailing plural s so "singers" matches "singer".
+func contentWords(nl string) []string {
+	var out []string
+	word := strings.Builder{}
+	flush := func() {
+		if word.Len() == 0 {
+			return
+		}
+		w := strings.ToLower(word.String())
+		word.Reset()
+		if stopwords[w] {
+			return
+		}
+		out = append(out, w)
+		if strings.HasSuffix(w, "s") && len(w) > 3 {
+			out = append(out, strings.TrimSuffix(w, "s"))
+		}
+	}
+	for _, r := range nl {
+		if r == ' ' || r == ',' || r == '?' || r == '.' || r == '\'' || r == '"' {
+			flush()
+			continue
+		}
+		word.WriteRune(r)
+	}
+	flush()
+	return out
+}
+
+// TopK returns the k highest-scoring names from a score map (ties broken
+// lexicographically for determinism).
+func TopK(scores map[string]float64, k int) []string {
+	type kv struct {
+		name  string
+		score float64
+	}
+	var all []kv
+	for n, s := range scores {
+		all = append(all, kv{n, s})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].score != all[j].score {
+			return all[i].score > all[j].score
+		}
+		return all[i].name < all[j].name
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]string, k)
+	for i := 0; i < k; i++ {
+		out[i] = all[i].name
+	}
+	return out
+}

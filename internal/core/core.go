@@ -1,0 +1,234 @@
+// Package core wires the PURPLE pipeline together (Figure 3): schema
+// pruning → skeleton prediction → demonstration selection → LLM inference →
+// database adaption. It exposes the library's primary public API: build a
+// Pipeline from training demonstrations and an LLM client, then Translate
+// NL2SQL tasks.
+package core
+
+import (
+	"math/rand"
+
+	"repro/internal/adaption"
+	"repro/internal/automaton"
+	"repro/internal/classifier"
+	"repro/internal/llm"
+	"repro/internal/predictor"
+	"repro/internal/prompt"
+	"repro/internal/selection"
+	"repro/internal/spider"
+	"repro/internal/sqlir"
+)
+
+// Translation is the outcome of translating one NL2SQL task.
+type Translation struct {
+	SQL          string
+	InputTokens  int
+	OutputTokens int
+	DemosUsed    int
+}
+
+// Translator is any NL2SQL strategy (PURPLE or a baseline).
+type Translator interface {
+	Name() string
+	Translate(e *spider.Example) Translation
+}
+
+// Config parameterizes the PURPLE pipeline. The zero value is not useful;
+// start from DefaultConfig.
+type Config struct {
+	// TauP and TauN are the schema-pruning thresholds (Section IV-A).
+	TauP float64
+	TauN int
+	// TopK is the number of predicted skeletons (Section IV-B, default 3).
+	TopK int
+	// PromptTokens is the input-length budget ("len" in Figure 11).
+	PromptTokens int
+	// Consistency is the number of sampled completions ("num" in Figure 11).
+	Consistency int
+	// Policy is the demonstration-selection generalization schedule.
+	Policy selection.Policy
+	// MaskLevels and DropProb are the Figure 12 noise knobs.
+	MaskLevels int
+	DropProb   float64
+	// Module switches for the Table 6 ablations.
+	UseSchemaPruning bool
+	UseSteinerTree   bool
+	UseSelection     bool
+	UseAdaption      bool
+	// OracleSkeleton replaces predictions with the gold skeleton (Table 6's
+	// +Oracle Skeleton row).
+	OracleSkeleton bool
+	// Seed drives all pipeline randomness.
+	Seed int64
+}
+
+// DefaultConfig is the paper's default PURPLE configuration: τp=0.5, τn=5,
+// top-3 skeletons, len=3072, num=30.
+func DefaultConfig() Config {
+	return Config{
+		TauP:             0.5,
+		TauN:             5,
+		TopK:             3,
+		PromptTokens:     3072,
+		Consistency:      30,
+		Policy:           selection.DefaultPolicy(),
+		UseSchemaPruning: true,
+		UseSteinerTree:   true,
+		UseSelection:     true,
+		UseAdaption:      true,
+		Seed:             1,
+	}
+}
+
+// Pipeline is a constructed PURPLE instance.
+type Pipeline struct {
+	cfg    Config
+	client llm.Client
+	clf    *classifier.Model
+	pred   *predictor.Model
+	hier   *automaton.Hierarchy
+	train  []*spider.Example
+	demos  []prompt.Demo // pre-rendered demonstrations, aligned with train
+	allIdx []int
+}
+
+// New builds a PURPLE pipeline: trains the pruning classifier and the
+// skeleton predictor on the demonstration set, constructs the four-level
+// automaton hierarchy, and pre-renders each demonstration with its schema
+// pruned to the items its gold SQL uses (Section III-A).
+func New(train []*spider.Example, client llm.Client, cfg Config) *Pipeline {
+	return NewWithModels(train, client, cfg, classifier.Train(train), predictor.Train(train))
+}
+
+// NewWithModels builds a pipeline around pre-trained substrate models —
+// useful when sweeping many configurations over the same training set (the
+// Figure 11/12 grids) without retraining per cell.
+func NewWithModels(train []*spider.Example, client llm.Client, cfg Config, clf *classifier.Model, pred *predictor.Model) *Pipeline {
+	p := &Pipeline{
+		cfg:    cfg,
+		client: client,
+		clf:    clf,
+		pred:   pred,
+		train:  train,
+	}
+	var skeletons [][]string
+	for i, e := range train {
+		skeletons = append(skeletons, sqlir.Skeleton(e.Gold))
+		p.demos = append(p.demos, renderDemo(e))
+		p.allIdx = append(p.allIdx, i)
+	}
+	p.hier = automaton.BuildHierarchy(skeletons)
+	return p
+}
+
+// renderDemo prunes a demonstration's schema to its gold-used items and
+// formats it for prompting.
+func renderDemo(e *spider.Example) prompt.Demo {
+	usedT, usedC := classifier.UsedItems(e.Gold, e.DB)
+	var keep []string
+	keepCols := map[string]map[string]bool{}
+	for t := range usedT {
+		keep = append(keep, t)
+		keepCols[t] = map[string]bool{}
+	}
+	for tc := range usedC {
+		for t := range usedT {
+			if len(tc) > len(t) && tc[:len(t)] == t && tc[len(t)] == '.' {
+				keepCols[t][tc[len(t)+1:]] = true
+			}
+		}
+	}
+	pruned := e.DB.Prune(keep, keepCols)
+	return prompt.Demo{DB: pruned, NL: e.NL, SQL: e.GoldSQL}
+}
+
+// Name implements Translator.
+func (p *Pipeline) Name() string { return "PURPLE(" + p.client.Name() + ")" }
+
+// Classifier exposes the trained pruning model (used by examples and
+// baselines sharing the substrate).
+func (p *Pipeline) Classifier() *classifier.Model { return p.clf }
+
+// Predictor exposes the trained skeleton model.
+func (p *Pipeline) Predictor() *predictor.Model { return p.pred }
+
+// Hierarchy exposes the constructed automaton hierarchy.
+func (p *Pipeline) Hierarchy() *automaton.Hierarchy { return p.hier }
+
+// Translate runs the full pipeline on one task.
+func (p *Pipeline) Translate(e *spider.Example) Translation {
+	rng := rand.New(rand.NewSource(p.cfg.Seed*1_000_003 + int64(e.ID)))
+
+	// Step 1: schema pruning.
+	taskDB := e.DB
+	if p.cfg.UseSchemaPruning {
+		pcfg := classifier.PruneConfig{
+			TauP: p.cfg.TauP, TauN: p.cfg.TauN,
+			UseSteiner: p.cfg.UseSteinerTree, TopK1: 4, TopK2: 5,
+		}
+		taskDB = classifier.Prune(p.clf, e.NL, taskDB, pcfg).DB
+	}
+
+	// Step 2: skeleton prediction (or the oracle skeleton ablation).
+	var preds [][]string
+	if p.cfg.OracleSkeleton {
+		preds = [][]string{sqlir.Skeleton(e.Gold)}
+	} else {
+		k := p.cfg.TopK
+		if k <= 0 {
+			k = 3
+		}
+		for _, pr := range p.pred.Predict(e.NL, k) {
+			preds = append(preds, pr.Tokens)
+		}
+	}
+
+	// Step 3: demonstration selection.
+	var order []int
+	if p.cfg.UseSelection {
+		order = selection.Select(p.hier, preds, selection.Options{
+			Policy:     p.cfg.Policy,
+			MaskLevels: p.cfg.MaskLevels,
+			DropProb:   p.cfg.DropProb,
+			Rng:        rng,
+			FillPool:   p.allIdx,
+		})
+	} else {
+		order = rng.Perm(len(p.demos)) // the -Demonstration Selection ablation
+	}
+	demos := make([]prompt.Demo, 0, len(order))
+	for _, i := range order {
+		demos = append(demos, p.demos[i])
+	}
+
+	// Step 4: prompt assembly and LLM inference.
+	built := prompt.Build("", demos, taskDB, e.NL, p.cfg.PromptTokens)
+	n := p.cfg.Consistency
+	if n <= 0 {
+		n = 1
+	}
+	resp := p.client.Complete(llm.Request{
+		Prompt:         built.Text,
+		N:              n,
+		Task:           e,
+		SchemaInPrompt: taskDB,
+		Seed:           p.cfg.Seed*7_000_003 + int64(e.ID),
+	})
+
+	// Step 5: database adaption + execution consistency.
+	out := Translation{
+		InputTokens:  resp.InputTokens,
+		OutputTokens: resp.OutputTokens,
+		DemosUsed:    built.DemosUsed,
+	}
+	if p.cfg.UseAdaption {
+		if sql, ok := adaption.Vote(e.DB, resp.SQLs, true); ok {
+			out.SQL = sql
+			return out
+		}
+	}
+	if len(resp.SQLs) > 0 {
+		out.SQL = resp.SQLs[0]
+	}
+	return out
+}

@@ -1,0 +1,168 @@
+package eval
+
+import (
+	"repro/internal/schema"
+	"repro/internal/spider"
+	"repro/internal/sqlexec"
+	"repro/internal/sqlir"
+)
+
+// Suite is a distilled set of database instances for one schema (the TS
+// metric of Zhong et al., Section V-A2). Instances are selected from a
+// larger candidate pool by their power to distinguish the gold query from
+// systematically generated near-miss mutants.
+type Suite struct {
+	Instances []*schema.Database
+}
+
+// SuiteConfig controls test-suite construction.
+type SuiteConfig struct {
+	// Candidates is the number of random instances generated per schema.
+	Candidates int
+	// Size is the number of instances kept after distillation.
+	Size int
+	// Seed drives instance generation.
+	Seed int64
+}
+
+// DefaultSuiteConfig mirrors the paper's augmented distilled-database setup
+// at laptop scale.
+func DefaultSuiteConfig() SuiteConfig {
+	return SuiteConfig{Candidates: 12, Size: 6, Seed: 99}
+}
+
+// BuildSuite distills a test suite for one database. Distillation scores
+// each candidate instance by how many gold-vs-mutant pairs it distinguishes
+// for the provided probe queries and keeps the highest-scoring ones.
+func BuildSuite(db *schema.Database, probes []*sqlir.Select, cfg SuiteConfig) *Suite {
+	var cands []*schema.Database
+	for i := 0; i < cfg.Candidates; i++ {
+		cands = append(cands, spider.Reinstantiate(db, cfg.Seed+int64(i)*7919))
+	}
+	type scored struct {
+		db    *schema.Database
+		score int
+		order int
+	}
+	all := make([]scored, len(cands))
+	for i, cd := range cands {
+		all[i] = scored{db: cd, order: i}
+		for _, g := range probes {
+			gres, err := sqlexec.Exec(cd, g)
+			if err != nil {
+				continue
+			}
+			for _, m := range mutants(g) {
+				mres, err := sqlexec.Exec(cd, m)
+				if err != nil {
+					all[i].score++ // executing differently counts as distinguishing
+					continue
+				}
+				if !resultsEqual(mres, gres) {
+					all[i].score++
+				}
+			}
+		}
+	}
+	// Stable selection of the top Size by score.
+	for i := 0; i < len(all); i++ {
+		for j := i + 1; j < len(all); j++ {
+			if all[j].score > all[i].score || (all[j].score == all[i].score && all[j].order < all[i].order) {
+				all[i], all[j] = all[j], all[i]
+			}
+		}
+	}
+	size := cfg.Size
+	if size > len(all) {
+		size = len(all)
+	}
+	s := &Suite{}
+	for i := 0; i < size; i++ {
+		s.Instances = append(s.Instances, all[i].db)
+	}
+	return s
+}
+
+// mutants generates near-miss variants of a query — the query classes EX
+// confuses with the gold (dropped DISTINCT, nudged operator, dropped
+// HAVING, set-op merged into a boolean).
+func mutants(g *sqlir.Select) []*sqlir.Select {
+	var out []*sqlir.Select
+	if g.Distinct {
+		m := sqlir.Clone(g)
+		m.Distinct = false
+		out = append(out, m)
+	}
+	hasDistinctAgg := false
+	sqlir.WalkExprs(g, func(e sqlir.Expr) {
+		if a, ok := e.(*sqlir.Agg); ok && a.Distinct {
+			hasDistinctAgg = true
+		}
+	})
+	if hasDistinctAgg {
+		m := sqlir.Clone(g)
+		sqlir.WalkExprs(m, func(e sqlir.Expr) {
+			if a, ok := e.(*sqlir.Agg); ok {
+				a.Distinct = false
+			}
+		})
+		out = append(out, m)
+	}
+	if g.Having != nil {
+		m := sqlir.Clone(g)
+		m.Having = nil
+		out = append(out, m)
+	}
+	if g.Compound != nil {
+		m := sqlir.Clone(g)
+		m.Compound = nil
+		out = append(out, m)
+	}
+	// Operator nudge mutant.
+	m := sqlir.Clone(g)
+	nudged := false
+	sqlir.WalkExprs(m, func(e sqlir.Expr) {
+		if nudged {
+			return
+		}
+		if b, ok := e.(*sqlir.Binary); ok {
+			switch b.Op {
+			case ">":
+				b.Op, nudged = ">=", true
+			case "<":
+				b.Op, nudged = "<=", true
+			case ">=":
+				b.Op, nudged = ">", true
+			case "<=":
+				b.Op, nudged = "<", true
+			}
+		}
+	})
+	if nudged {
+		out = append(out, m)
+	}
+	return out
+}
+
+// TestSuiteMatch reports whether the prediction matches the gold on every
+// instance of the suite (plus the original database). One mismatch or
+// execution failure fails the metric.
+func TestSuiteMatch(db *schema.Database, suite *Suite, predSQL, goldSQL string) bool {
+	if !ExecutionMatch(db, predSQL, goldSQL) {
+		return false
+	}
+	for _, inst := range suite.Instances {
+		gres, err := sqlexec.ExecSQL(inst, goldSQL)
+		if err != nil {
+			continue // gold not applicable on this instance; skip
+		}
+		pres, err := sqlexec.ExecSQL(inst, predSQL)
+		if err != nil {
+			return false
+		}
+		if !resultsEqual(pres, gres) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,82 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/llm"
+)
+
+func testEnv(t *testing.T) *Env {
+	t.Helper()
+	return NewEnv(3, 0.05)
+}
+
+func TestRunProducesScores(t *testing.T) {
+	env := testEnv(t)
+	s := env.Run(env.ChatGPTSQL(llm.ChatGPT), env.Corpus.Dev, RunOptions{Limit: 25})
+	if s.N != 25 {
+		t.Errorf("N = %d", s.N)
+	}
+	if s.EM < 0 || s.EM > 100 || s.EX < s.EM-100 {
+		t.Errorf("scores out of range: %+v", s)
+	}
+	if s.InTokensPerQ <= 0 {
+		t.Error("token accounting missing")
+	}
+	if len(s.ByHardness) == 0 {
+		t.Error("hardness breakdown missing")
+	}
+}
+
+func TestRunWithTS(t *testing.T) {
+	env := testEnv(t)
+	s := env.Run(env.PLM("RESDSQL"), env.Corpus.Dev, RunOptions{Limit: 20, WithTS: true})
+	if s.TS > s.EX {
+		t.Errorf("TS (%.1f) cannot exceed EX (%.1f)", s.TS, s.EX)
+	}
+}
+
+func TestSuiteCaching(t *testing.T) {
+	env := testEnv(t)
+	db := env.Corpus.Dev.Examples[0].DB.Name
+	a := env.Suite(env.Corpus.Dev, db)
+	b := env.Suite(env.Corpus.Dev, db)
+	if a != b {
+		t.Error("suite not cached")
+	}
+	if len(a.Instances) == 0 {
+		t.Error("empty suite")
+	}
+}
+
+func TestTable3Render(t *testing.T) {
+	env := testEnv(t)
+	out := env.Table3()
+	for _, want := range []string{"SPIDER-TRAIN", "SPIDER-DEV", "SPIDER-DK", "SPIDER-SYN", "SPIDER-REALISTIC"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 3 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable6Render(t *testing.T) {
+	env := testEnv(t)
+	out := env.Table6(RunOptions{Limit: 20})
+	for _, want := range []string{"-Schema Pruning", "-Steiner Tree", "-Demonstration Selection", "-Database Adaption", "+Oracle Skeleton"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 6 missing row %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatTableAlignment(t *testing.T) {
+	out := FormatTable("T", []string{"a", "bb"}, [][]string{{"xxx", "y"}})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("unexpected line count: %q", out)
+	}
+	if len(lines[1]) != len(lines[2]) {
+		t.Errorf("columns misaligned:\n%s", out)
+	}
+}

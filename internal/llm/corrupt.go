@@ -1,0 +1,393 @@
+package llm
+
+import (
+	"math/rand"
+	"strings"
+
+	"repro/internal/schema"
+	"repro/internal/sqlir"
+)
+
+// corruptIntent injects a semantic (schema-linking) error: the output stays
+// executable but answers a subtly different question. These errors are not
+// repairable by the adaption module — exactly the failure class the paper
+// attributes to imperfect NL understanding.
+func corruptIntent(sel *sqlir.Select, req Request, rng *rand.Rand) *sqlir.Select {
+	db := req.Task.DB
+	// Weighted choice: boundary-operator misreadings dominate real linking
+	// errors and are often invisible on the dev instance while the distilled
+	// test suite catches them — the EX-vs-TS gap of Table 4.
+	r := rng.Float64()
+	order := []int{0, 2, 3}
+	switch {
+	case r < 0.40:
+		order = []int{1, 0, 2, 3}
+	case r < 0.65:
+		order = []int{0, 2, 3, 1}
+	case r < 0.85:
+		order = []int{2, 0, 3, 1}
+	default:
+		order = []int{3, 0, 2, 1}
+	}
+	for _, op := range order {
+		switch op {
+		case 0: // swap a WHERE column for a same-type sibling
+			if swapWhereColumn(sel, db, rng) {
+				return sel
+			}
+		case 1: // weaken/strengthen a comparison operator
+			if nudgeOperator(sel, rng) {
+				return sel
+			}
+		case 2: // project a sibling column
+			if swapProjection(sel, db, rng) {
+				return sel
+			}
+		case 3: // perturb a literal value
+			if perturbLiteral(sel, db, rng) {
+				return sel
+			}
+		}
+	}
+	return sel
+}
+
+func tableOfRef(sel *sqlir.Select, c *sqlir.ColumnRef, db *schema.Database) *schema.Table {
+	aliasMap := map[string]string{}
+	reg := func(tr sqlir.TableRef) { aliasMap[strings.ToLower(tr.Name())] = strings.ToLower(tr.Table) }
+	reg(sel.From.Base)
+	for _, j := range sel.From.Joins {
+		reg(j.Table)
+	}
+	if c.Table != "" {
+		if tn, ok := aliasMap[strings.ToLower(c.Table)]; ok {
+			return db.Table(tn)
+		}
+		return db.Table(c.Table)
+	}
+	for _, tn := range aliasMap {
+		if t := db.Table(tn); t != nil && t.HasColumn(c.Column) {
+			return t
+		}
+	}
+	return nil
+}
+
+func siblingColumn(t *schema.Table, colName string, rng *rand.Rand) (string, bool) {
+	ci := t.ColIndex(colName)
+	if ci < 0 {
+		return "", false
+	}
+	typ := t.Columns[ci].Type
+	var cands []string
+	for _, c := range t.Columns {
+		if c.Type == typ && !strings.EqualFold(c.Name, colName) &&
+			c.Name != "id" && !strings.HasSuffix(c.Name, "_id") {
+			cands = append(cands, c.Name)
+		}
+	}
+	if len(cands) == 0 {
+		return "", false
+	}
+	return cands[rng.Intn(len(cands))], true
+}
+
+func whereColRefs(sel *sqlir.Select) []*sqlir.ColumnRef {
+	var refs []*sqlir.ColumnRef
+	if sel.Where == nil {
+		return nil
+	}
+	tmp := &sqlir.Select{Where: sel.Where, Limit: -1}
+	sqlir.WalkExprs(tmp, func(e sqlir.Expr) {
+		if c, ok := e.(*sqlir.ColumnRef); ok {
+			refs = append(refs, c)
+		}
+	})
+	return refs
+}
+
+func swapWhereColumn(sel *sqlir.Select, db *schema.Database, rng *rand.Rand) bool {
+	refs := whereColRefs(sel)
+	if len(refs) == 0 {
+		return false
+	}
+	c := refs[rng.Intn(len(refs))]
+	t := tableOfRef(sel, c, db)
+	if t == nil {
+		return false
+	}
+	if sib, ok := siblingColumn(t, c.Column, rng); ok {
+		c.Column = sib
+		return true
+	}
+	return false
+}
+
+func nudgeOperator(sel *sqlir.Select, rng *rand.Rand) bool {
+	changed := false
+	sqlir.WalkExprs(sel, func(e sqlir.Expr) {
+		if changed {
+			return
+		}
+		if b, ok := e.(*sqlir.Binary); ok {
+			switch b.Op {
+			case ">":
+				b.Op = ">="
+				changed = true
+			case ">=":
+				b.Op = ">"
+				changed = true
+			case "<":
+				b.Op = "<="
+				changed = true
+			case "<=":
+				b.Op = "<"
+				changed = true
+			}
+		}
+	})
+	return changed
+}
+
+func swapProjection(sel *sqlir.Select, db *schema.Database, rng *rand.Rand) bool {
+	for _, it := range sel.Items {
+		if c, ok := it.Expr.(*sqlir.ColumnRef); ok {
+			t := tableOfRef(sel, c, db)
+			if t == nil {
+				continue
+			}
+			if sib, okS := siblingColumn(t, c.Column, rng); okS {
+				c.Column = sib
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func perturbLiteral(sel *sqlir.Select, db *schema.Database, rng *rand.Rand) bool {
+	changed := false
+	sqlir.WalkExprs(sel, func(e sqlir.Expr) {
+		if changed {
+			return
+		}
+		if l, ok := e.(*sqlir.Literal); ok && !l.IsString {
+			l.Num += float64(1 + rng.Intn(3))
+			l.Raw = ""
+			changed = true
+		}
+	})
+	return changed
+}
+
+// hallucinate injects one of the paper's six error classes (Table 2) and
+// returns the SQL text. Most results fail execution and are candidates for
+// the database-adaption fixers.
+func hallucinate(sel *sqlir.Select, req Request, rng *rand.Rand) string {
+	db := req.Task.DB
+	kinds := rng.Perm(6)
+	for _, k := range kinds {
+		switch k {
+		case 0: // Table-Column-Mismatch: wrong qualifier in a join query
+			if len(sel.From.Joins) > 0 {
+				if c := firstQualifiedRef(sel); c != nil {
+					c.Table = otherAlias(sel, c.Table)
+					return sqlir.String(sel)
+				}
+			}
+		case 1: // Column-Ambiguity: drop the qualifier from a shared column
+			if len(sel.From.Joins) > 0 {
+				if c := refWithSharedName(sel, db); c != nil {
+					c.Table = ""
+					return sqlir.String(sel)
+				}
+			}
+		case 2: // Missing-Table: drop a join but keep its column references
+			if len(sel.From.Joins) > 0 {
+				dropped := sel.From.Joins[len(sel.From.Joins)-1]
+				sel.From.Joins = sel.From.Joins[:len(sel.From.Joins)-1]
+				alias := dropped.Table.Name()
+				mutateAllRefs(sel, func(c *sqlir.ColumnRef) {
+					if strings.EqualFold(c.Table, alias) {
+						c.Table = dropped.Table.Table
+					}
+				})
+				return sqlir.String(sel)
+			}
+		case 3: // Function-Hallucinations: CONCAT two text columns
+			if fn := concatProjection(sel, db); fn != "" {
+				return fn
+			}
+		case 4: // Schema-Hallucinations: misspelled column name
+			if c := anyDataRef(sel); c != nil {
+				c.Column = misspell(c.Column, rng)
+				return sqlir.String(sel)
+			}
+		case 5: // Aggregation-Hallucinations: multi-column aggregate
+			if s := multiArgAggregate(sel, db); s != "" {
+				return s
+			}
+		}
+	}
+	return sqlir.String(sel)
+}
+
+func firstQualifiedRef(sel *sqlir.Select) *sqlir.ColumnRef {
+	var found *sqlir.ColumnRef
+	sqlir.WalkExprs(sel, func(e sqlir.Expr) {
+		if found != nil {
+			return
+		}
+		if c, ok := e.(*sqlir.ColumnRef); ok && c.Table != "" && c.Column != "*" &&
+			c.Column != "id" && !strings.HasSuffix(c.Column, "_id") {
+			found = c
+		}
+	})
+	return found
+}
+
+func otherAlias(sel *sqlir.Select, current string) string {
+	names := []string{sel.From.Base.Name()}
+	for _, j := range sel.From.Joins {
+		names = append(names, j.Table.Name())
+	}
+	for _, n := range names {
+		if !strings.EqualFold(n, current) {
+			return n
+		}
+	}
+	return current
+}
+
+func refWithSharedName(sel *sqlir.Select, db *schema.Database) *sqlir.ColumnRef {
+	var found *sqlir.ColumnRef
+	sqlir.WalkExprs(sel, func(e sqlir.Expr) {
+		if found != nil {
+			return
+		}
+		if c, ok := e.(*sqlir.ColumnRef); ok && c.Table != "" && c.Column != "*" {
+			if len(db.TablesWithColumn(c.Column)) >= 2 {
+				found = c
+			}
+		}
+	})
+	return found
+}
+
+func mutateAllRefs(sel *sqlir.Select, fn func(*sqlir.ColumnRef)) {
+	sqlir.WalkExprs(sel, func(e sqlir.Expr) {
+		if c, ok := e.(*sqlir.ColumnRef); ok {
+			fn(c)
+		}
+	})
+	for _, j := range sel.From.Joins {
+		fn(j.Left)
+		fn(j.Right)
+	}
+}
+
+func concatProjection(sel *sqlir.Select, db *schema.Database) string {
+	if len(sel.Items) == 0 {
+		return ""
+	}
+	c, ok := sel.Items[0].Expr.(*sqlir.ColumnRef)
+	if !ok {
+		return ""
+	}
+	t := db.Table(tableNameFor(sel, c))
+	if t == nil {
+		return ""
+	}
+	var second string
+	for _, col := range t.Columns {
+		if col.Type == schema.TypeText && !strings.EqualFold(col.Name, c.Column) {
+			second = col.Name
+			break
+		}
+	}
+	if second == "" {
+		return ""
+	}
+	sel.Items[0].Expr = &sqlir.Agg{Fn: "CONCAT", Args: []sqlir.Expr{
+		sqlir.CloneExpr(c),
+		&sqlir.Literal{IsString: true, Str: " "},
+		&sqlir.ColumnRef{Table: c.Table, Column: second},
+	}}
+	return sqlir.String(sel)
+}
+
+func tableNameFor(sel *sqlir.Select, c *sqlir.ColumnRef) string {
+	if c.Table == "" {
+		return sel.From.Base.Table
+	}
+	if strings.EqualFold(c.Table, sel.From.Base.Name()) {
+		return sel.From.Base.Table
+	}
+	for _, j := range sel.From.Joins {
+		if strings.EqualFold(c.Table, j.Table.Name()) {
+			return j.Table.Table
+		}
+	}
+	return c.Table
+}
+
+func anyDataRef(sel *sqlir.Select) *sqlir.ColumnRef {
+	var found *sqlir.ColumnRef
+	sqlir.WalkExprs(sel, func(e sqlir.Expr) {
+		if found != nil {
+			return
+		}
+		if c, ok := e.(*sqlir.ColumnRef); ok && c.Column != "*" && c.Column != "id" &&
+			!strings.HasSuffix(c.Column, "_id") {
+			found = c
+		}
+	})
+	return found
+}
+
+func misspell(name string, rng *rand.Rand) string {
+	switch rng.Intn(3) {
+	case 0:
+		return name + "s"
+	case 1:
+		return strings.ReplaceAll(name, "_", "")
+	default:
+		if len(name) > 2 {
+			return name[:len(name)-1]
+		}
+		return name + "x"
+	}
+}
+
+func multiArgAggregate(sel *sqlir.Select, db *schema.Database) string {
+	var agg *sqlir.Agg
+	sqlir.WalkExprs(sel, func(e sqlir.Expr) {
+		if agg != nil {
+			return
+		}
+		if a, ok := e.(*sqlir.Agg); ok && a.Fn == "COUNT" && len(a.Args) == 1 {
+			if _, isStar := a.Args[0].(*sqlir.Star); !isStar {
+				agg = a
+			}
+		}
+	})
+	if agg == nil {
+		return ""
+	}
+	c, ok := agg.Args[0].(*sqlir.ColumnRef)
+	if !ok {
+		return ""
+	}
+	t := db.Table(tableNameFor(sel, c))
+	if t == nil {
+		return ""
+	}
+	for _, col := range t.Columns {
+		if !strings.EqualFold(col.Name, c.Column) && col.Name != "id" {
+			agg.Args = append(agg.Args, &sqlir.ColumnRef{Table: c.Table, Column: col.Name})
+			agg.Distinct = true
+			return sqlir.String(sel)
+		}
+	}
+	return ""
+}

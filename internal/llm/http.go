@@ -1,0 +1,165 @@
+package llm
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/prompt"
+)
+
+// HTTPClient calls an OpenAI-compatible chat-completions endpoint — the
+// integration path the paper used with ChatGPT (gpt-3.5-turbo-0613) and
+// GPT-4 (gpt-4-0613). It implements Client so the whole pipeline can swap
+// the simulator for a live service; the hidden Task channel is simply
+// ignored by a real model.
+type HTTPClient struct {
+	// BaseURL is the service root, e.g. "https://api.openai.com/v1".
+	BaseURL string
+	// Model is the model identifier sent with each request.
+	Model string
+	// APIKey, when non-empty, is sent as a Bearer token.
+	APIKey string
+	// HTTP is the underlying client; nil means a 60-second-timeout default.
+	HTTP *http.Client
+	// Temperature for sampling; the paper's consistency strategy samples n
+	// completions per call.
+	Temperature float64
+	// MaxRetries bounds retry attempts on transient failures (default 2).
+	MaxRetries int
+}
+
+// Name implements Client.
+func (c *HTTPClient) Name() string { return c.Model }
+
+type chatRequest struct {
+	Model       string        `json:"model"`
+	Messages    []chatMessage `json:"messages"`
+	N           int           `json:"n,omitempty"`
+	Temperature float64       `json:"temperature"`
+}
+
+type chatMessage struct {
+	Role    string `json:"role"`
+	Content string `json:"content"`
+}
+
+type chatResponse struct {
+	Choices []struct {
+		Message chatMessage `json:"message"`
+	} `json:"choices"`
+	Usage struct {
+		PromptTokens     int `json:"prompt_tokens"`
+		CompletionTokens int `json:"completion_tokens"`
+	} `json:"usage"`
+	Error *struct {
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+// Complete implements Client. Transport or decode failures degrade to an
+// empty response rather than panicking the pipeline; callers treat an empty
+// SQL list as a failed translation.
+func (c *HTTPClient) Complete(req Request) Response {
+	hc := c.HTTP
+	if hc == nil {
+		hc = &http.Client{Timeout: 60 * time.Second}
+	}
+	n := req.N
+	if n <= 0 {
+		n = 1
+	}
+	body, err := json.Marshal(chatRequest{
+		Model: c.Model,
+		Messages: []chatMessage{
+			{Role: "system", Content: "You are a SQL writer. Reply with a single SQL query and nothing else."},
+			{Role: "user", Content: req.Prompt},
+		},
+		N:           n,
+		Temperature: c.Temperature,
+	})
+	if err != nil {
+		return Response{InputTokens: prompt.Tokens(req.Prompt)}
+	}
+
+	retries := c.MaxRetries
+	if retries <= 0 {
+		retries = 2
+	}
+	var parsed chatResponse
+	for attempt := 0; ; attempt++ {
+		hreq, err := http.NewRequest(http.MethodPost, strings.TrimRight(c.BaseURL, "/")+"/chat/completions", bytes.NewReader(body))
+		if err != nil {
+			return Response{InputTokens: prompt.Tokens(req.Prompt)}
+		}
+		hreq.Header.Set("Content-Type", "application/json")
+		if c.APIKey != "" {
+			hreq.Header.Set("Authorization", "Bearer "+c.APIKey)
+		}
+		resp, err := hc.Do(hreq)
+		if err != nil {
+			if attempt < retries {
+				continue
+			}
+			return Response{InputTokens: prompt.Tokens(req.Prompt)}
+		}
+		data, err := io.ReadAll(io.LimitReader(resp.Body, 10<<20))
+		resp.Body.Close()
+		if err != nil || resp.StatusCode >= 500 {
+			if attempt < retries {
+				continue
+			}
+			return Response{InputTokens: prompt.Tokens(req.Prompt)}
+		}
+		if err := json.Unmarshal(data, &parsed); err != nil || parsed.Error != nil {
+			return Response{InputTokens: prompt.Tokens(req.Prompt)}
+		}
+		break
+	}
+
+	out := Response{
+		InputTokens:  parsed.Usage.PromptTokens,
+		OutputTokens: parsed.Usage.CompletionTokens,
+	}
+	if out.InputTokens == 0 {
+		out.InputTokens = prompt.Tokens(req.Prompt)
+	}
+	for _, ch := range parsed.Choices {
+		out.SQLs = append(out.SQLs, ExtractSQL(ch.Message.Content))
+	}
+	return out
+}
+
+// ExtractSQL pulls the SQL statement out of a chat completion: it strips
+// markdown fences and surrounding prose, keeping the first statement that
+// starts with SELECT.
+func ExtractSQL(content string) string {
+	s := strings.TrimSpace(content)
+	if i := strings.Index(s, "```"); i >= 0 {
+		rest := s[i+3:]
+		rest = strings.TrimPrefix(rest, "sql")
+		rest = strings.TrimPrefix(rest, "SQL")
+		if j := strings.Index(rest, "```"); j >= 0 {
+			s = strings.TrimSpace(rest[:j])
+		} else {
+			s = strings.TrimSpace(rest)
+		}
+	}
+	upper := strings.ToUpper(s)
+	if i := strings.Index(upper, "SELECT"); i > 0 {
+		s = s[i:]
+	}
+	if i := strings.IndexByte(s, ';'); i >= 0 {
+		s = s[:i]
+	}
+	return strings.Join(strings.Fields(s), " ")
+}
+
+// String renders a short description for logs.
+func (c *HTTPClient) String() string {
+	return fmt.Sprintf("HTTPClient{%s @ %s}", c.Model, c.BaseURL)
+}

@@ -1,0 +1,112 @@
+package llm
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+)
+
+func fakeServer(t *testing.T, handler http.HandlerFunc) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(handler)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestHTTPClientParsesChoices(t *testing.T) {
+	var gotAuth string
+	srv := fakeServer(t, func(w http.ResponseWriter, r *http.Request) {
+		gotAuth = r.Header.Get("Authorization")
+		var req chatRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			t.Errorf("bad request body: %v", err)
+		}
+		if req.Model != "gpt-4-0613" || req.N != 2 {
+			t.Errorf("request fields wrong: %+v", req)
+		}
+		json.NewEncoder(w).Encode(map[string]any{
+			"choices": []map[string]any{
+				{"message": map[string]string{"role": "assistant", "content": "SELECT a FROM t"}},
+				{"message": map[string]string{"role": "assistant", "content": "```sql\nSELECT b FROM u;\n```"}},
+			},
+			"usage": map[string]int{"prompt_tokens": 100, "completion_tokens": 20},
+		})
+	})
+	c := &HTTPClient{BaseURL: srv.URL, Model: "gpt-4-0613", APIKey: "sk-test"}
+	resp := c.Complete(Request{Prompt: "translate this", N: 2})
+	if gotAuth != "Bearer sk-test" {
+		t.Errorf("auth header = %q", gotAuth)
+	}
+	if len(resp.SQLs) != 2 || resp.SQLs[0] != "SELECT a FROM t" || resp.SQLs[1] != "SELECT b FROM u" {
+		t.Errorf("SQLs = %v", resp.SQLs)
+	}
+	if resp.InputTokens != 100 || resp.OutputTokens != 20 {
+		t.Errorf("usage = %d/%d", resp.InputTokens, resp.OutputTokens)
+	}
+}
+
+func TestHTTPClientRetriesOn500(t *testing.T) {
+	var calls atomic.Int32
+	srv := fakeServer(t, func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			http.Error(w, "overloaded", http.StatusInternalServerError)
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]any{
+			"choices": []map[string]any{
+				{"message": map[string]string{"role": "assistant", "content": "SELECT 1 FROM t"}},
+			},
+		})
+	})
+	c := &HTTPClient{BaseURL: srv.URL, Model: "m"}
+	resp := c.Complete(Request{Prompt: "p", N: 1})
+	if calls.Load() != 2 {
+		t.Errorf("expected one retry, got %d calls", calls.Load())
+	}
+	if len(resp.SQLs) != 1 {
+		t.Errorf("SQLs = %v", resp.SQLs)
+	}
+}
+
+func TestHTTPClientDegradesGracefully(t *testing.T) {
+	srv := fakeServer(t, func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("not json"))
+	})
+	c := &HTTPClient{BaseURL: srv.URL, Model: "m"}
+	resp := c.Complete(Request{Prompt: "abcd", N: 1})
+	if len(resp.SQLs) != 0 {
+		t.Errorf("expected no SQLs on decode failure, got %v", resp.SQLs)
+	}
+	if resp.InputTokens != 1 {
+		t.Errorf("fallback token estimate = %d", resp.InputTokens)
+	}
+}
+
+func TestHTTPClientAPIError(t *testing.T) {
+	srv := fakeServer(t, func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]any{
+			"error": map[string]string{"message": "rate limited"},
+		})
+	})
+	c := &HTTPClient{BaseURL: srv.URL, Model: "m"}
+	if resp := c.Complete(Request{Prompt: "p"}); len(resp.SQLs) != 0 {
+		t.Errorf("API error should yield no SQLs: %v", resp.SQLs)
+	}
+}
+
+func TestExtractSQL(t *testing.T) {
+	cases := map[string]string{
+		"SELECT a FROM t":                           "SELECT a FROM t",
+		"```sql\nSELECT a FROM t\n```":              "SELECT a FROM t",
+		"Sure! Here is the query: SELECT a FROM t;": "SELECT a FROM t",
+		"```\nSELECT a\nFROM t\n```":                "SELECT a FROM t",
+		"SELECT a FROM t; -- done":                  "SELECT a FROM t",
+	}
+	for in, want := range cases {
+		if got := ExtractSQL(in); got != want {
+			t.Errorf("ExtractSQL(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

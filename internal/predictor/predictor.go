@@ -1,0 +1,165 @@
+// Package predictor implements PURPLE's skeleton-prediction module
+// (Section IV-B), the stand-in for the fine-tuned T5-3B generator. The
+// substitute is a multinomial naive-Bayes sequence scorer over the training
+// split's skeleton inventory: the NL query's content words select skeletons,
+// and a beam-search-style ranked top-k with sequence probabilities is
+// returned. Like the paper's PLM it is trained on gold (NL, skeleton) pairs,
+// errs on rare compositions, and degrades on the SYN/DK/Realistic variants
+// whose lexical distribution shifts away from the training NL.
+package predictor
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/spider"
+	"repro/internal/sqlir"
+)
+
+// Prediction is one ranked skeleton hypothesis.
+type Prediction struct {
+	Tokens []string // Detail-Level skeleton tokens
+	Prob   float64  // normalized sequence probability
+}
+
+// Skeleton renders the hypothesis as a string.
+func (p Prediction) Skeleton() string { return strings.Join(p.Tokens, " ") }
+
+// Model is the trained skeleton generator.
+type Model struct {
+	skeletons []skelClass
+	vocab     map[string]bool
+	totalDocs float64
+	// Noise, when positive, randomly perturbs ranking scores to emulate a
+	// weaker PLM (used by robustness experiments); requires Rng.
+	Noise float64
+	Rng   *rand.Rand
+}
+
+type skelClass struct {
+	tokens    []string
+	key       string
+	count     float64
+	wordCount map[string]float64
+	wordTotal float64
+}
+
+// Train fits the model on the training split.
+func Train(examples []*spider.Example) *Model {
+	m := &Model{vocab: map[string]bool{}}
+	index := map[string]int{}
+	for _, e := range examples {
+		toks := sqlir.Skeleton(e.Gold)
+		key := strings.Join(toks, " ")
+		i, ok := index[key]
+		if !ok {
+			i = len(m.skeletons)
+			index[key] = i
+			m.skeletons = append(m.skeletons, skelClass{
+				tokens:    toks,
+				key:       key,
+				wordCount: map[string]float64{},
+			})
+		}
+		sc := &m.skeletons[i]
+		sc.count++
+		m.totalDocs++
+		for _, w := range queryWords(e.NL) {
+			sc.wordCount[w]++
+			sc.wordTotal++
+			m.vocab[w] = true
+		}
+	}
+	return m
+}
+
+// Predict returns the top-k skeleton hypotheses for an NL query, highest
+// probability first. Probabilities are normalized over the returned beam.
+func (m *Model) Predict(nl string, k int) []Prediction {
+	words := queryWords(nl)
+	v := float64(len(m.vocab)) + 1
+	type scored struct {
+		idx  int
+		logp float64
+	}
+	all := make([]scored, len(m.skeletons))
+	for i := range m.skeletons {
+		sc := &m.skeletons[i]
+		lp := math.Log(sc.count / m.totalDocs)
+		for _, w := range words {
+			lp += math.Log((sc.wordCount[w] + 1) / (sc.wordTotal + v))
+		}
+		if m.Noise > 0 && m.Rng != nil {
+			lp += m.Rng.NormFloat64() * m.Noise * 10
+		}
+		all[i] = scored{i, lp}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].logp != all[j].logp {
+			return all[i].logp > all[j].logp
+		}
+		return m.skeletons[all[i].idx].key < m.skeletons[all[j].idx].key
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	top := all[:k]
+	// Normalize within the beam with the log-sum-exp trick.
+	maxlp := math.Inf(-1)
+	for _, s := range top {
+		if s.logp > maxlp {
+			maxlp = s.logp
+		}
+	}
+	var z float64
+	for _, s := range top {
+		z += math.Exp(s.logp - maxlp)
+	}
+	out := make([]Prediction, k)
+	for i, s := range top {
+		out[i] = Prediction{
+			Tokens: m.skeletons[s.idx].tokens,
+			Prob:   math.Exp(s.logp-maxlp) / z,
+		}
+	}
+	return out
+}
+
+// InventorySize returns the number of distinct skeletons seen in training.
+func (m *Model) InventorySize() int { return len(m.skeletons) }
+
+// TopKRecall measures how often the gold skeleton appears in the top-k
+// predictions over a benchmark — the recall property Section IV-B targets.
+func (m *Model) TopKRecall(examples []*spider.Example, k int) float64 {
+	if len(examples) == 0 {
+		return 0
+	}
+	hit := 0
+	for _, e := range examples {
+		gold := sqlir.SkeletonString(e.Gold)
+		for _, p := range m.Predict(e.NL, k) {
+			if p.Skeleton() == gold {
+				hit++
+				break
+			}
+		}
+	}
+	return float64(hit) / float64(len(examples))
+}
+
+// queryWords tokenizes NL for the scorer: lower-cased words plus adjacent
+// bigrams (bigrams capture cues like "not have" and "most common" that
+// discriminate operator compositions).
+func queryWords(nl string) []string {
+	fields := strings.FieldsFunc(strings.ToLower(nl), func(r rune) bool {
+		return r == ' ' || r == ',' || r == '?' || r == '.' || r == '\'' || r == '"'
+	})
+	out := make([]string, 0, len(fields)*2)
+	out = append(out, fields...)
+	for i := 0; i+1 < len(fields); i++ {
+		out = append(out, fields[i]+"_"+fields[i+1])
+	}
+	return out
+}

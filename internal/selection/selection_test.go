@@ -1,0 +1,138 @@
+package selection
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/automaton"
+	"repro/internal/sqlir"
+)
+
+func toks(sql string) []string {
+	return sqlir.Skeleton(sqlir.MustParse(sql))
+}
+
+func demoSet() ([][]string, *automaton.Hierarchy) {
+	demos := [][]string{
+		toks("SELECT a FROM t WHERE b = 1"),                        // 0: matches pred0 at Detail
+		toks("SELECT a FROM t WHERE b = 2"),                        // 1: same path as 0
+		toks("SELECT a FROM t WHERE b > 3"),                        // 2: Structure-level cousin
+		toks("SELECT a FROM t ORDER BY b DESC LIMIT 1"),            // 3: matches pred1 at Detail
+		toks("SELECT COUNT(*) FROM t"),                             // 4: unrelated
+		toks("SELECT a FROM t EXCEPT SELECT a FROM u WHERE c = 1"), // 5: unrelated
+	}
+	return demos, automaton.BuildHierarchy(demos)
+}
+
+func TestSelectPrefersFinestLevelTopPrediction(t *testing.T) {
+	_, h := demoSet()
+	preds := [][]string{
+		toks("SELECT x FROM y WHERE z = 9"),             // top-1
+		toks("SELECT x FROM y ORDER BY z DESC LIMIT 5"), // top-2
+	}
+	got := Select(h, preds, Options{})
+	if len(got) == 0 || got[0] != 0 {
+		t.Fatalf("first selected should be demo 0 (Detail match of top-1), got %v", got)
+	}
+	// Demo 3 (Detail match of top-2) must come before Structure-level
+	// cousins of top-1 appear via higher-abstraction cells... by the matrix
+	// order, cell 2 (Detail/top-2) precedes cell 5+ (Keywords level).
+	pos := map[int]int{}
+	for i, d := range got {
+		pos[d] = i
+	}
+	if pos[3] > pos[2] {
+		t.Errorf("Detail match of top-2 (demo 3) should precede Structure cousin (demo 2): %v", got)
+	}
+}
+
+func TestSelectDeduplicates(t *testing.T) {
+	_, h := demoSet()
+	preds := [][]string{toks("SELECT x FROM y WHERE z = 9")}
+	got := Select(h, preds, Options{})
+	seen := map[int]bool{}
+	for _, d := range got {
+		if seen[d] {
+			t.Fatalf("duplicate demo %d in %v", d, got)
+		}
+		seen[d] = true
+	}
+}
+
+func TestSelectExhaustsAllMatches(t *testing.T) {
+	_, h := demoSet()
+	preds := [][]string{toks("SELECT x FROM y WHERE z = 9")}
+	got := Select(h, preds, Options{})
+	// Demos 0,1 (Detail), 2 (Structure <CMP> path), 3/4/5 unmatched unless a
+	// coarser level path coincides. At minimum 0,1,2 must all be present.
+	want := map[int]bool{0: true, 1: true, 2: true}
+	for _, d := range got {
+		delete(want, d)
+	}
+	if len(want) != 0 {
+		t.Errorf("missing matches %v in %v", want, got)
+	}
+}
+
+func TestPoliciesTerminate(t *testing.T) {
+	_, h := demoSet()
+	preds := [][]string{toks("SELECT x FROM y WHERE z = 9"), toks("SELECT COUNT(*) FROM y")}
+	for _, p := range []Policy{Linear(1, 1), Linear(3, 3), Exp(2, 2), Linear(9, 1)} {
+		got := Select(h, preds, Options{Policy: p})
+		if len(got) == 0 {
+			t.Errorf("policy %s selected nothing", p.Name)
+		}
+	}
+}
+
+func TestMaskLevelsIgnoresFineMatches(t *testing.T) {
+	_, h := demoSet()
+	preds := [][]string{toks("SELECT x FROM y WHERE z = 9")}
+	// Masking Detail+Keywords: selection may only use Structure/Clause cells,
+	// so the Detail-exact demos can still appear but only via coarser paths;
+	// crucially Select must not panic and must return something.
+	got := Select(h, preds, Options{MaskLevels: 2})
+	if len(got) == 0 {
+		t.Error("masked selection returned nothing; Structure level should still match")
+	}
+	// Masking all levels yields nothing (no cells left).
+	got = Select(h, preds, Options{MaskLevels: 4})
+	if len(got) != 0 {
+		t.Errorf("all-masked selection should be empty, got %v", got)
+	}
+}
+
+func TestDropSkeletonNoise(t *testing.T) {
+	_, h := demoSet()
+	preds := [][]string{
+		toks("SELECT x FROM y WHERE z = 9"),
+		toks("SELECT x FROM y ORDER BY z DESC LIMIT 5"),
+	}
+	rng := rand.New(rand.NewSource(1))
+	// With DropProb=1 one prediction is always dropped; selection still works.
+	got := Select(h, preds, Options{DropProb: 1, Rng: rng})
+	if len(got) == 0 {
+		t.Error("drop-noise selection returned nothing")
+	}
+}
+
+func TestRandomFillUsesPool(t *testing.T) {
+	_, h := demoSet()
+	preds := [][]string{toks("SELECT x FROM y WHERE z = 9")}
+	rng := rand.New(rand.NewSource(2))
+	got := Select(h, preds, Options{Rng: rng, FillPool: []int{0, 1, 2, 3, 4, 5}})
+	if len(got) != 6 {
+		t.Errorf("fill should extend selection to all 6 demos, got %v", got)
+	}
+}
+
+func TestDeterministicWithoutRng(t *testing.T) {
+	_, h := demoSet()
+	preds := [][]string{toks("SELECT x FROM y WHERE z = 9")}
+	a := Select(h, preds, Options{})
+	b := Select(h, preds, Options{})
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("selection not deterministic: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,190 @@
+// Package service exposes the PURPLE pipeline as an HTTP JSON API — the
+// deployment surface a downstream user would put in front of a DBMS. It
+// serves translation requests against the benchmark databases and reports
+// the pipeline's intermediate artifacts for observability.
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+
+	"repro/internal/classifier"
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/spider"
+	"repro/internal/sqlexec"
+)
+
+// Server wires a pipeline and a set of databases into an http.Handler.
+type Server struct {
+	mu       sync.RWMutex
+	pipeline *core.Pipeline
+	corpus   *spider.Corpus
+	byDB     map[string][]*spider.Example
+}
+
+// New builds a server around a constructed pipeline and its corpus.
+func New(p *core.Pipeline, c *spider.Corpus) *Server {
+	s := &Server{pipeline: p, corpus: c, byDB: map[string][]*spider.Example{}}
+	for _, e := range c.Dev.Examples {
+		key := strings.ToLower(e.DB.Name)
+		s.byDB[key] = append(s.byDB[key], e)
+	}
+	return s
+}
+
+// Handler returns the route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/databases", s.handleDatabases)
+	mux.HandleFunc("/translate", s.handleTranslate)
+	mux.HandleFunc("/execute", s.handleExecute)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("ok"))
+	})
+	return mux
+}
+
+type databaseInfo struct {
+	Name   string   `json:"name"`
+	Tables []string `json:"tables"`
+}
+
+func (s *Server) handleDatabases(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var out []databaseInfo
+	for _, db := range s.corpus.Dev.Databases {
+		out = append(out, databaseInfo{Name: db.Name, Tables: db.TableNames()})
+	}
+	writeJSON(w, out)
+}
+
+// TranslateRequest asks for a translation of a dev task (by id) or a
+// free-form question against a database (retrieval artifacts only — the
+// simulated LLM needs a benchmark task to complete the generation half).
+type TranslateRequest struct {
+	TaskID   *int   `json:"task_id,omitempty"`
+	Database string `json:"database,omitempty"`
+	Question string `json:"question,omitempty"`
+}
+
+// TranslateResponse reports the SQL and pipeline artifacts.
+type TranslateResponse struct {
+	SQL          string   `json:"sql,omitempty"`
+	Gold         string   `json:"gold,omitempty"`
+	ExactMatch   *bool    `json:"exact_match,omitempty"`
+	ExecMatch    *bool    `json:"exec_match,omitempty"`
+	DemosUsed    int      `json:"demos_used,omitempty"`
+	TotalTokens  int      `json:"total_tokens,omitempty"`
+	PrunedTables []string `json:"pruned_tables,omitempty"`
+	Skeletons    []string `json:"skeletons,omitempty"`
+	Error        string   `json:"error,omitempty"`
+}
+
+func (s *Server) handleTranslate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var req TranslateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad json: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	switch {
+	case req.TaskID != nil:
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		id := *req.TaskID
+		if id < 0 || id >= len(s.corpus.Dev.Examples) {
+			http.Error(w, "task_id out of range", http.StatusNotFound)
+			return
+		}
+		e := s.corpus.Dev.Examples[id]
+		res := s.pipeline.Translate(e)
+		em := eval.ExactSetMatchSQL(res.SQL, e.GoldSQL)
+		ex := eval.ExecutionMatch(e.DB, res.SQL, e.GoldSQL)
+		writeJSON(w, TranslateResponse{
+			SQL: res.SQL, Gold: e.GoldSQL,
+			ExactMatch: &em, ExecMatch: &ex,
+			DemosUsed:   res.DemosUsed,
+			TotalTokens: res.InputTokens + res.OutputTokens,
+		})
+	case req.Database != "" && req.Question != "":
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		examples := s.byDB[strings.ToLower(req.Database)]
+		if len(examples) == 0 {
+			http.Error(w, "unknown database", http.StatusNotFound)
+			return
+		}
+		db := examples[0].DB
+		pruned := classifier.Prune(s.pipeline.Classifier(), req.Question, db, classifier.DefaultPruneConfig())
+		var skels []string
+		for _, p := range s.pipeline.Predictor().Predict(req.Question, 3) {
+			skels = append(skels, p.Skeleton())
+		}
+		writeJSON(w, TranslateResponse{PrunedTables: pruned.KeptTables, Skeletons: skels})
+	default:
+		http.Error(w, "need task_id or database+question", http.StatusBadRequest)
+	}
+}
+
+// ExecuteRequest runs read-only SQL against a benchmark database.
+type ExecuteRequest struct {
+	Database string `json:"database"`
+	SQL      string `json:"sql"`
+}
+
+// ExecuteResponse carries the rows (stringified) or an error message.
+type ExecuteResponse struct {
+	Columns []string   `json:"columns,omitempty"`
+	Rows    [][]string `json:"rows,omitempty"`
+	Error   string     `json:"error,omitempty"`
+}
+
+func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var req ExecuteRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad json: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	examples := s.byDB[strings.ToLower(req.Database)]
+	if len(examples) == 0 {
+		http.Error(w, "unknown database", http.StatusNotFound)
+		return
+	}
+	res, err := sqlexec.ExecSQL(examples[0].DB, req.SQL)
+	if err != nil {
+		writeJSON(w, ExecuteResponse{Error: err.Error()})
+		return
+	}
+	out := ExecuteResponse{Columns: res.Cols}
+	for _, row := range res.Rows {
+		cells := make([]string, len(row))
+		for i, v := range row {
+			cells[i] = v.String()
+		}
+		out.Rows = append(out.Rows, cells)
+	}
+	writeJSON(w, out)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,136 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/llm"
+	"repro/internal/spider"
+)
+
+func testServer(t *testing.T) (*httptest.Server, *spider.Corpus) {
+	t.Helper()
+	c := spider.GenerateSmall(13, 0.05)
+	cfg := core.DefaultConfig()
+	cfg.Consistency = 5
+	p := core.New(c.Train.Examples, llm.NewSim(llm.ChatGPT), cfg)
+	srv := httptest.NewServer(New(p, c).Handler())
+	t.Cleanup(srv.Close)
+	return srv, c
+}
+
+func postJSON(t *testing.T, url string, body any, out any) *http.Response {
+	t.Helper()
+	data, _ := json.Marshal(body)
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+	}
+	return resp
+}
+
+func TestHealthz(t *testing.T) {
+	srv, _ := testServer(t)
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", err, resp)
+	}
+	resp.Body.Close()
+}
+
+func TestDatabasesEndpoint(t *testing.T) {
+	srv, c := testServer(t)
+	resp, err := http.Get(srv.URL + "/databases")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var dbs []databaseInfo
+	if err := json.NewDecoder(resp.Body).Decode(&dbs); err != nil {
+		t.Fatal(err)
+	}
+	if len(dbs) != len(c.Dev.Databases) {
+		t.Errorf("got %d databases, want %d", len(dbs), len(c.Dev.Databases))
+	}
+	if len(dbs[0].Tables) == 0 {
+		t.Error("no tables listed")
+	}
+}
+
+func TestTranslateTask(t *testing.T) {
+	srv, c := testServer(t)
+	id := 0
+	var out TranslateResponse
+	postJSON(t, srv.URL+"/translate", TranslateRequest{TaskID: &id}, &out)
+	if out.SQL == "" || out.Gold != c.Dev.Examples[0].GoldSQL {
+		t.Errorf("bad translation response: %+v", out)
+	}
+	if out.ExactMatch == nil || out.ExecMatch == nil {
+		t.Error("match flags missing")
+	}
+}
+
+func TestTranslateFreeForm(t *testing.T) {
+	srv, c := testServer(t)
+	var out TranslateResponse
+	postJSON(t, srv.URL+"/translate", TranslateRequest{
+		Database: c.Dev.Databases[0].Name,
+		Question: "How many rows are there?",
+	}, &out)
+	if len(out.Skeletons) == 0 || len(out.PrunedTables) == 0 {
+		t.Errorf("retrieval artifacts missing: %+v", out)
+	}
+}
+
+func TestTranslateErrors(t *testing.T) {
+	srv, _ := testServer(t)
+	bad := postJSON(t, srv.URL+"/translate", TranslateRequest{}, nil)
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty request: status %d", bad.StatusCode)
+	}
+	id := 999999
+	missing := postJSON(t, srv.URL+"/translate", TranslateRequest{TaskID: &id}, nil)
+	if missing.StatusCode != http.StatusNotFound {
+		t.Errorf("out-of-range task: status %d", missing.StatusCode)
+	}
+}
+
+func TestExecuteEndpoint(t *testing.T) {
+	srv, c := testServer(t)
+	db := c.Dev.Databases[0]
+	var out ExecuteResponse
+	postJSON(t, srv.URL+"/execute", ExecuteRequest{
+		Database: db.Name,
+		SQL:      "SELECT COUNT(*) FROM " + db.Tables[0].Name,
+	}, &out)
+	if out.Error != "" || len(out.Rows) != 1 {
+		t.Errorf("execute failed: %+v", out)
+	}
+	// SQL errors are reported in-band.
+	postJSON(t, srv.URL+"/execute", ExecuteRequest{Database: db.Name, SQL: "SELECT x FROM nope"}, &out)
+	if out.Error == "" {
+		t.Error("expected in-band SQL error")
+	}
+}
+
+func TestMethodGuards(t *testing.T) {
+	srv, _ := testServer(t)
+	resp, err := http.Get(srv.URL + "/translate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /translate: %d", resp.StatusCode)
+	}
+}

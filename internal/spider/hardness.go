@@ -1,0 +1,101 @@
+package spider
+
+import "repro/internal/sqlir"
+
+// Hardness classifies a query into Spider's official hardness buckets
+// (easy / medium / hard / extra) using the component-count heuristic from
+// the Spider evaluation script: "components1" counts surface clauses and
+// operators, "components2" counts advanced constructs (nesting, set
+// operations), and thresholds map the pair to a bucket.
+func Hardness(sel *sqlir.Select) string {
+	c1, c2 := components(sel)
+	switch {
+	case c1 <= 1 && c2 == 0:
+		return "easy"
+	case c1 <= 2 && c2 == 0:
+		return "medium"
+	case (c1 <= 4 && c2 == 0) || (c1 <= 1 && c2 <= 1):
+		return "hard"
+	default:
+		return "extra"
+	}
+}
+
+func components(sel *sqlir.Select) (c1, c2 int) {
+	if sel.Where != nil {
+		c1++
+		// extra predicates beyond the first
+		c1 += countLogic(sel.Where)
+	}
+	if len(sel.GroupBy) > 0 {
+		c1++
+	}
+	if sel.Having != nil {
+		c1++
+	}
+	if len(sel.OrderBy) > 0 {
+		c1++
+	}
+	if sel.HasLimit {
+		c1++
+	}
+	if len(sel.From.Joins) > 0 {
+		c1 += len(sel.From.Joins)
+	}
+	if len(sel.Items) > 2 {
+		c1++
+	}
+	aggs := 0
+	sqlir.WalkExprs(sel, func(e sqlir.Expr) {
+		switch v := e.(type) {
+		case *sqlir.Agg:
+			if sqlir.AggFuncs[v.Fn] {
+				aggs++
+			}
+		case *sqlir.Like:
+			c1++
+		case *sqlir.Binary:
+			if v.Op == "OR" {
+				c1++
+			}
+		}
+	})
+	if aggs > 1 {
+		c1++
+	}
+	// components2: nesting and set operations
+	nested := 0
+	sqlir.WalkExprs(sel, func(e sqlir.Expr) {
+		switch v := e.(type) {
+		case *sqlir.In:
+			if v.Sub != nil {
+				nested++
+			}
+		case *sqlir.Subquery:
+			nested++
+		case *sqlir.Exists:
+			nested++
+		}
+	})
+	c2 += nested
+	if sel.Compound != nil {
+		c2++
+		rc1, rc2 := components(sel.Compound.Right)
+		// fold in the right side's complexity at a discount
+		c1 += rc1 / 2
+		c2 += rc2
+	}
+	return c1, c2
+}
+
+func countLogic(e sqlir.Expr) int {
+	switch v := e.(type) {
+	case *sqlir.Binary:
+		if v.Op == "AND" || v.Op == "OR" {
+			return 1 + countLogic(v.L) + countLogic(v.R)
+		}
+	case *sqlir.Not:
+		return countLogic(v.E)
+	}
+	return 0
+}

@@ -1,0 +1,83 @@
+package spider
+
+import (
+	"math/rand"
+	"strings"
+
+	"repro/internal/schema"
+)
+
+// Reinstantiate returns a database with the same schema as db but resampled
+// data: each table's rows are redrawn (with replacement, and with a fresh
+// row count) from the original column value pools. Literal values mentioned
+// by benchmark queries therefore remain meaningful on the new instance,
+// while duplicate structure, tie structure and aggregate values all change —
+// exactly the variation the distilled test-suite metric (TS) needs to
+// distinguish near-miss queries from gold.
+func Reinstantiate(db *schema.Database, seed int64) *schema.Database {
+	rng := rand.New(rand.NewSource(seed))
+	nd := db.Clone()
+
+	// Collect per-column distinct value pools from the original data.
+	pools := map[string][]schema.Value{}
+	for _, t := range db.Tables {
+		for ci, c := range t.Columns {
+			key := strings.ToLower(t.Name) + "." + strings.ToLower(c.Name)
+			seen := map[string]bool{}
+			for _, r := range t.Rows {
+				v := r[ci]
+				if v.IsNull() {
+					continue
+				}
+				k := v.String()
+				if !seen[k] {
+					seen[k] = true
+					pools[key] = append(pools[key], v)
+				}
+			}
+		}
+	}
+
+	rowCounts := map[string]int{}
+	for _, t := range nd.Tables {
+		orig := len(t.Rows)
+		if orig == 0 {
+			continue
+		}
+		n := orig/2 + rng.Intn(orig+1) // 0.5x .. 1.5x the original size
+		if n < 4 {
+			n = 4
+		}
+		rowCounts[strings.ToLower(t.Name)] = n
+		t.Rows = nil
+		for i := 0; i < n; i++ {
+			row := make([]schema.Value, len(t.Columns))
+			for ci, c := range t.Columns {
+				switch {
+				case strings.EqualFold(c.Name, t.PrimaryKey):
+					row[ci] = schema.N(float64(i + 1))
+				case strings.HasSuffix(strings.ToLower(c.Name), "_id"):
+					parent := strings.TrimSuffix(strings.ToLower(c.Name), "_id")
+					pn := rowCounts[parent]
+					if pn == 0 {
+						pn = n
+					}
+					if rng.Float64() < 0.08 {
+						row[ci] = schema.Null()
+					} else {
+						row[ci] = schema.N(float64(1 + rng.Intn(pn)))
+					}
+				default:
+					pool := pools[strings.ToLower(t.Name)+"."+strings.ToLower(c.Name)]
+					if len(pool) == 0 {
+						row[ci] = schema.Null()
+						continue
+					}
+					row[ci] = pool[rng.Intn(len(pool))]
+				}
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	return nd
+}

@@ -1,0 +1,556 @@
+// Package spider generates the synthetic cross-domain NL2SQL corpus that
+// stands in for the Spider benchmark family (Spider, Spider-DK, Spider-SYN,
+// Spider-Realistic). It provides domain schema templates, database
+// instantiation with data, a SQL sampler over a Spider-style grammar, an NL
+// realizer, benchmark splits matching the paper's Table 3, and the official
+// hardness heuristic.
+package spider
+
+// attrPool names a value generator for a column.
+type attrPool int
+
+const (
+	poolPerson attrPool = iota // person names
+	poolCity
+	poolCountry
+	poolWord  // domain-flavoured noun
+	poolYear  // 1950..2023
+	poolSmall // 1..100
+	poolBig   // 100..10000
+	poolMoney // 10.0..5000.0
+	poolRate  // 1..10
+)
+
+// attrSpec describes one column of an entity template.
+type attrSpec struct {
+	name string // SQL column name
+	nl   string // natural-language rendering
+	pool attrPool
+}
+
+// entitySpec describes one table template within a domain.
+type entitySpec struct {
+	name   string // SQL table name
+	nl     string // singular NL name
+	plural string // plural NL name
+	attrs  []attrSpec
+	// parents lists indices of entities this one references via FK
+	// (<entity>_id columns are added automatically).
+	parents []int
+}
+
+// domainSpec groups entities into a coherent domain.
+type domainSpec struct {
+	name     string
+	entities []entitySpec
+	words    []string // domain-flavoured noun pool
+}
+
+func text(name, nl string, pool attrPool) attrSpec { return attrSpec{name, nl, pool} }
+
+// domains is the template library. The first trainDomains entries seed the
+// training split; the remainder are reserved for dev/variant splits so that
+// evaluation databases are unseen at training time (the paper's
+// cross-database setting).
+var domains = []domainSpec{
+	{
+		name:  "concert",
+		words: []string{"rock", "jazz", "pop", "folk", "metal", "indie", "soul", "blues"},
+		entities: []entitySpec{
+			{name: "band", nl: "band", plural: "bands", attrs: []attrSpec{
+				text("band_name", "band name", poolWord), text("genre", "genre", poolWord),
+				text("formed_year", "formation year", poolYear), text("members", "member count", poolSmall)}},
+			{name: "singer", nl: "singer", plural: "singers", parents: []int{0}, attrs: []attrSpec{
+				text("singer_name", "singer name", poolPerson), text("age", "age", poolSmall),
+				text("country", "country", poolCountry), text("net_worth", "net worth", poolMoney)}},
+			{name: "concert", nl: "concert", plural: "concerts", parents: []int{0}, attrs: []attrSpec{
+				text("venue", "venue", poolCity), text("attendance", "attendance", poolBig),
+				text("concert_year", "concert year", poolYear)}},
+		},
+	},
+	{
+		name:  "school",
+		words: []string{"algebra", "history", "physics", "drawing", "music", "biology", "chemistry", "literature"},
+		entities: []entitySpec{
+			{name: "department", nl: "department", plural: "departments", attrs: []attrSpec{
+				text("dept_name", "department name", poolWord), text("budget", "budget", poolMoney),
+				text("building", "building", poolCity)}},
+			{name: "teacher", nl: "teacher", plural: "teachers", parents: []int{0}, attrs: []attrSpec{
+				text("teacher_name", "teacher name", poolPerson), text("age", "age", poolSmall),
+				text("hometown", "hometown", poolCity), text("salary", "salary", poolMoney)}},
+			{name: "course", nl: "course", plural: "courses", parents: []int{0, 1}, attrs: []attrSpec{
+				text("course_name", "course name", poolWord), text("credits", "credit count", poolRate),
+				text("enrollment", "enrollment", poolBig)}},
+		},
+	},
+	{
+		name:  "flight",
+		words: []string{"cargo", "charter", "regional", "domestic", "international", "express", "budget", "luxury"},
+		entities: []entitySpec{
+			{name: "airline", nl: "airline", plural: "airlines", attrs: []attrSpec{
+				text("airline_name", "airline name", poolWord), text("country", "country", poolCountry),
+				text("fleet_size", "fleet size", poolSmall), text("founded", "founding year", poolYear)}},
+			{name: "airport", nl: "airport", plural: "airports", attrs: []attrSpec{
+				text("airport_name", "airport name", poolCity), text("city", "city", poolCity),
+				text("capacity", "capacity", poolBig)}},
+			{name: "flight", nl: "flight", plural: "flights", parents: []int{0, 1}, attrs: []attrSpec{
+				text("flight_no", "flight number", poolBig), text("distance", "distance", poolBig),
+				text("price", "price", poolMoney)}},
+		},
+	},
+	{
+		name:  "employee",
+		words: []string{"engineering", "marketing", "finance", "legal", "support", "research", "design", "operations"},
+		entities: []entitySpec{
+			{name: "company", nl: "company", plural: "companies", attrs: []attrSpec{
+				text("company_name", "company name", poolWord), text("industry", "industry", poolWord),
+				text("revenue", "revenue", poolMoney), text("headquarter", "headquarter city", poolCity)}},
+			{name: "employee", nl: "employee", plural: "employees", parents: []int{0}, attrs: []attrSpec{
+				text("emp_name", "employee name", poolPerson), text("age", "age", poolSmall),
+				text("salary", "salary", poolMoney), text("city", "city", poolCity)}},
+			{name: "evaluation", nl: "evaluation", plural: "evaluations", parents: []int{1}, attrs: []attrSpec{
+				text("year_awarded", "award year", poolYear), text("bonus", "bonus", poolMoney)}},
+		},
+	},
+	{
+		name:  "pets",
+		words: []string{"dog", "cat", "bird", "hamster", "rabbit", "lizard", "ferret", "turtle"},
+		entities: []entitySpec{
+			{name: "student", nl: "student", plural: "students", attrs: []attrSpec{
+				text("student_name", "student name", poolPerson), text("age", "age", poolSmall),
+				text("major", "major", poolWord), text("city_code", "city code", poolCity)}},
+			{name: "pet", nl: "pet", plural: "pets", parents: []int{0}, attrs: []attrSpec{
+				text("pet_type", "pet type", poolWord), text("pet_age", "pet age", poolSmall),
+				text("weight", "weight", poolSmall)}},
+		},
+	},
+	{
+		name:  "car",
+		words: []string{"sedan", "coupe", "wagon", "hatchback", "convertible", "pickup", "van", "suv"},
+		entities: []entitySpec{
+			{name: "maker", nl: "car maker", plural: "car makers", attrs: []attrSpec{
+				text("maker_name", "maker name", poolWord), text("country", "country", poolCountry),
+				text("founded", "founding year", poolYear)}},
+			{name: "model", nl: "model", plural: "models", parents: []int{0}, attrs: []attrSpec{
+				text("model_name", "model name", poolWord), text("body_style", "body style", poolWord),
+				text("horsepower", "horsepower", poolBig), text("mpg", "fuel economy", poolSmall),
+				text("price", "price", poolMoney)}},
+		},
+	},
+	{
+		name:  "hospital",
+		words: []string{"cardiology", "neurology", "oncology", "pediatrics", "radiology", "surgery", "dermatology", "urology"},
+		entities: []entitySpec{
+			{name: "ward", nl: "ward", plural: "wards", attrs: []attrSpec{
+				text("ward_name", "ward name", poolWord), text("beds", "bed count", poolSmall),
+				text("floor", "floor", poolRate)}},
+			{name: "doctor", nl: "doctor", plural: "doctors", parents: []int{0}, attrs: []attrSpec{
+				text("doctor_name", "doctor name", poolPerson), text("specialty", "specialty", poolWord),
+				text("experience", "years of experience", poolSmall), text("salary", "salary", poolMoney)}},
+			{name: "patient", nl: "patient", plural: "patients", parents: []int{0, 1}, attrs: []attrSpec{
+				text("patient_name", "patient name", poolPerson), text("age", "age", poolSmall),
+				text("stay_days", "length of stay", poolSmall)}},
+		},
+	},
+	{
+		name:  "library",
+		words: []string{"novel", "poetry", "biography", "essay", "thriller", "romance", "fantasy", "satire"},
+		entities: []entitySpec{
+			{name: "author", nl: "author", plural: "authors", attrs: []attrSpec{
+				text("author_name", "author name", poolPerson), text("nationality", "nationality", poolCountry),
+				text("birth_year", "birth year", poolYear)}},
+			{name: "book", nl: "book", plural: "books", parents: []int{0}, attrs: []attrSpec{
+				text("title", "title", poolWord), text("genre", "genre", poolWord),
+				text("pages", "page count", poolBig), text("published", "publication year", poolYear)}},
+			{name: "branch", nl: "library branch", plural: "library branches", attrs: []attrSpec{
+				text("branch_name", "branch name", poolCity), text("city", "city", poolCity),
+				text("open_year", "opening year", poolYear)}},
+			{name: "loan", nl: "loan", plural: "loans", parents: []int{1, 2}, attrs: []attrSpec{
+				text("loan_days", "loan duration", poolSmall), text("fine", "fine", poolMoney)}},
+		},
+	},
+	{
+		name:  "sport",
+		words: []string{"striker", "keeper", "defender", "winger", "captain", "coach", "rookie", "veteran"},
+		entities: []entitySpec{
+			{name: "club", nl: "club", plural: "clubs", attrs: []attrSpec{
+				text("club_name", "club name", poolWord), text("city", "city", poolCity),
+				text("founded", "founding year", poolYear), text("titles", "title count", poolSmall)}},
+			{name: "player", nl: "player", plural: "players", parents: []int{0}, attrs: []attrSpec{
+				text("player_name", "player name", poolPerson), text("position", "position", poolWord),
+				text("age", "age", poolSmall), text("goals", "goal count", poolSmall),
+				text("wage", "wage", poolMoney)}},
+			{name: "match_game", nl: "match", plural: "matches", parents: []int{0}, attrs: []attrSpec{
+				text("stadium", "stadium", poolCity), text("spectators", "spectator count", poolBig),
+				text("season", "season", poolYear)}},
+		},
+	},
+	{
+		name:  "restaurant",
+		words: []string{"sushi", "pasta", "burger", "curry", "taco", "ramen", "salad", "barbecue"},
+		entities: []entitySpec{
+			{name: "restaurant", nl: "restaurant", plural: "restaurants", attrs: []attrSpec{
+				text("rest_name", "restaurant name", poolWord), text("cuisine", "cuisine", poolWord),
+				text("city", "city", poolCity), text("rating", "rating", poolRate)}},
+			{name: "dish", nl: "dish", plural: "dishes", parents: []int{0}, attrs: []attrSpec{
+				text("dish_name", "dish name", poolWord), text("price", "price", poolMoney),
+				text("calories", "calorie count", poolBig)}},
+			{name: "chef", nl: "chef", plural: "chefs", parents: []int{0}, attrs: []attrSpec{
+				text("chef_name", "chef name", poolPerson), text("experience", "years of experience", poolSmall)}},
+		},
+	},
+	{
+		name:  "movie",
+		words: []string{"drama", "comedy", "horror", "action", "documentary", "animation", "western", "musical"},
+		entities: []entitySpec{
+			{name: "director", nl: "director", plural: "directors", attrs: []attrSpec{
+				text("director_name", "director name", poolPerson), text("nationality", "nationality", poolCountry),
+				text("debut_year", "debut year", poolYear)}},
+			{name: "movie", nl: "movie", plural: "movies", parents: []int{0}, attrs: []attrSpec{
+				text("movie_title", "movie title", poolWord), text("genre", "genre", poolWord),
+				text("box_office", "box office", poolMoney), text("release_year", "release year", poolYear),
+				text("score", "review score", poolRate)}},
+			{name: "cinema", nl: "cinema", plural: "cinemas", attrs: []attrSpec{
+				text("cinema_name", "cinema name", poolCity), text("seats", "seat count", poolBig)}},
+			{name: "screening", nl: "screening", plural: "screenings", parents: []int{1, 2}, attrs: []attrSpec{
+				text("tickets_sold", "tickets sold", poolBig), text("show_year", "show year", poolYear)}},
+		},
+	},
+	{
+		name:  "hotel",
+		words: []string{"suite", "single", "double", "penthouse", "cabin", "loft", "studio", "villa"},
+		entities: []entitySpec{
+			{name: "hotel", nl: "hotel", plural: "hotels", attrs: []attrSpec{
+				text("hotel_name", "hotel name", poolWord), text("city", "city", poolCity),
+				text("stars", "star rating", poolRate), text("rooms", "room count", poolBig)}},
+			{name: "guest", nl: "guest", plural: "guests", attrs: []attrSpec{
+				text("guest_name", "guest name", poolPerson), text("home_country", "home country", poolCountry),
+				text("age", "age", poolSmall)}},
+			{name: "booking", nl: "booking", plural: "bookings", parents: []int{0, 1}, attrs: []attrSpec{
+				text("nights", "night count", poolSmall), text("amount", "amount paid", poolMoney),
+				text("book_year", "booking year", poolYear)}},
+		},
+	},
+	{
+		name:  "bank",
+		words: []string{"savings", "checking", "fixed", "premium", "student", "joint", "business", "offshore"},
+		entities: []entitySpec{
+			{name: "branch", nl: "bank branch", plural: "bank branches", attrs: []attrSpec{
+				text("branch_name", "branch name", poolCity), text("city", "city", poolCity),
+				text("assets", "asset value", poolMoney)}},
+			{name: "customer", nl: "customer", plural: "customers", parents: []int{0}, attrs: []attrSpec{
+				text("cust_name", "customer name", poolPerson), text("acc_type", "account type", poolWord),
+				text("balance", "balance", poolMoney), text("credit_score", "credit score", poolBig)}},
+			{name: "loan", nl: "loan", plural: "loans", parents: []int{0, 1}, attrs: []attrSpec{
+				text("loan_type", "loan type", poolWord), text("amount", "loan amount", poolMoney)}},
+		},
+	},
+	{
+		name:  "orchestra",
+		words: []string{"violin", "cello", "flute", "oboe", "trumpet", "harp", "piano", "timpani"},
+		entities: []entitySpec{
+			{name: "conductor", nl: "conductor", plural: "conductors", attrs: []attrSpec{
+				text("conductor_name", "conductor name", poolPerson), text("nationality", "nationality", poolCountry),
+				text("year_started", "starting year", poolYear)}},
+			{name: "orchestra", nl: "orchestra", plural: "orchestras", parents: []int{0}, attrs: []attrSpec{
+				text("orch_name", "orchestra name", poolWord), text("founded", "founding year", poolYear),
+				text("players", "player count", poolSmall)}},
+			{name: "performance", nl: "performance", plural: "performances", parents: []int{1}, attrs: []attrSpec{
+				text("hall", "concert hall", poolCity), text("attendance", "attendance", poolBig),
+				text("perf_year", "performance year", poolYear)}},
+		},
+	},
+	{
+		name:  "museum",
+		words: []string{"painting", "sculpture", "fresco", "ceramic", "print", "tapestry", "mosaic", "sketch"},
+		entities: []entitySpec{
+			{name: "museum", nl: "museum", plural: "museums", attrs: []attrSpec{
+				text("museum_name", "museum name", poolCity), text("city", "city", poolCity),
+				text("open_year", "opening year", poolYear), text("visitors", "visitor count", poolBig)}},
+			{name: "artist", nl: "artist", plural: "artists", attrs: []attrSpec{
+				text("artist_name", "artist name", poolPerson), text("nationality", "nationality", poolCountry),
+				text("birth_year", "birth year", poolYear)}},
+			{name: "artwork", nl: "artwork", plural: "artworks", parents: []int{0, 1}, attrs: []attrSpec{
+				text("art_title", "artwork title", poolWord), text("medium", "medium", poolWord),
+				text("value", "appraised value", poolMoney)}},
+		},
+	},
+	{
+		name:  "farm",
+		words: []string{"wheat", "corn", "barley", "soy", "apple", "grape", "rice", "cotton"},
+		entities: []entitySpec{
+			{name: "farm", nl: "farm", plural: "farms", attrs: []attrSpec{
+				text("farm_name", "farm name", poolWord), text("region", "region", poolCity),
+				text("hectares", "hectare count", poolBig)}},
+			{name: "crop", nl: "crop", plural: "crops", parents: []int{0}, attrs: []attrSpec{
+				text("crop_name", "crop name", poolWord), text("yield_tons", "yield in tons", poolBig),
+				text("crop_price", "price", poolMoney)}},
+			{name: "worker", nl: "farm worker", plural: "farm workers", parents: []int{0}, attrs: []attrSpec{
+				text("worker_name", "worker name", poolPerson), text("age", "age", poolSmall),
+				text("wage", "wage", poolMoney)}},
+		},
+	},
+	{
+		name:  "railway",
+		words: []string{"express", "local", "freight", "sleeper", "shuttle", "intercity", "metro", "steam"},
+		entities: []entitySpec{
+			{name: "station", nl: "station", plural: "stations", attrs: []attrSpec{
+				text("station_name", "station name", poolCity), text("city", "city", poolCity),
+				text("platforms", "platform count", poolSmall), text("open_year", "opening year", poolYear)}},
+			{name: "train", nl: "train", plural: "trains", parents: []int{0}, attrs: []attrSpec{
+				text("train_name", "train name", poolWord), text("service", "service type", poolWord),
+				text("speed", "top speed", poolBig), text("carriages", "carriage count", poolSmall)}},
+		},
+	},
+	{
+		name:  "election",
+		words: []string{"governor", "senator", "mayor", "council", "treasurer", "sheriff", "judge", "delegate"},
+		entities: []entitySpec{
+			{name: "party", nl: "party", plural: "parties", attrs: []attrSpec{
+				text("party_name", "party name", poolWord), text("founded", "founding year", poolYear),
+				text("seats", "seat count", poolSmall)}},
+			{name: "candidate", nl: "candidate", plural: "candidates", parents: []int{0}, attrs: []attrSpec{
+				text("cand_name", "candidate name", poolPerson), text("office", "office sought", poolWord),
+				text("age", "age", poolSmall), text("votes", "vote count", poolBig)}},
+		},
+	},
+	{
+		name:  "airline_crew",
+		words: []string{"captain", "first_officer", "purser", "attendant", "engineer", "dispatcher", "navigator", "trainee"},
+		entities: []entitySpec{
+			{name: "base", nl: "crew base", plural: "crew bases", attrs: []attrSpec{
+				text("base_city", "base city", poolCity), text("country", "country", poolCountry),
+				text("opened", "opening year", poolYear)}},
+			{name: "crew_member", nl: "crew member", plural: "crew members", parents: []int{0}, attrs: []attrSpec{
+				text("member_name", "member name", poolPerson), text("role", "role", poolWord),
+				text("flight_hours", "flight hours", poolBig), text("salary", "salary", poolMoney)}},
+		},
+	},
+	{
+		name:  "gym",
+		words: []string{"yoga", "spin", "pilates", "boxing", "crossfit", "zumba", "rowing", "stretch"},
+		entities: []entitySpec{
+			{name: "gym", nl: "gym", plural: "gyms", attrs: []attrSpec{
+				text("gym_name", "gym name", poolWord), text("city", "city", poolCity),
+				text("members", "member count", poolBig)}},
+			{name: "trainer", nl: "trainer", plural: "trainers", parents: []int{0}, attrs: []attrSpec{
+				text("trainer_name", "trainer name", poolPerson), text("specialty", "specialty", poolWord),
+				text("age", "age", poolSmall), text("rate", "hourly rate", poolMoney)}},
+			{name: "class_session", nl: "class", plural: "classes", parents: []int{0, 1}, attrs: []attrSpec{
+				text("class_type", "class type", poolWord), text("capacity", "capacity", poolSmall)}},
+		},
+	},
+	{
+		name:  "newspaper",
+		words: []string{"politics", "sports", "culture", "economy", "science", "opinion", "travel", "weather"},
+		entities: []entitySpec{
+			{name: "newspaper", nl: "newspaper", plural: "newspapers", attrs: []attrSpec{
+				text("paper_name", "newspaper name", poolWord), text("city", "city", poolCity),
+				text("founded", "founding year", poolYear), text("circulation", "circulation", poolBig)}},
+			{name: "journalist", nl: "journalist", plural: "journalists", parents: []int{0}, attrs: []attrSpec{
+				text("journalist_name", "journalist name", poolPerson), text("beat", "beat", poolWord),
+				text("years_active", "years active", poolSmall)}},
+			{name: "article", nl: "article", plural: "articles", parents: []int{1}, attrs: []attrSpec{
+				text("headline", "headline", poolWord), text("section", "section", poolWord),
+				text("word_count", "word count", poolBig)}},
+		},
+	},
+	{
+		name:  "brewery",
+		words: []string{"lager", "stout", "porter", "pilsner", "ale", "wheat", "sour", "amber"},
+		entities: []entitySpec{
+			{name: "brewery", nl: "brewery", plural: "breweries", attrs: []attrSpec{
+				text("brewery_name", "brewery name", poolWord), text("city", "city", poolCity),
+				text("founded", "founding year", poolYear)}},
+			{name: "beer", nl: "beer", plural: "beers", parents: []int{0}, attrs: []attrSpec{
+				text("beer_name", "beer name", poolWord), text("style", "style", poolWord),
+				text("abv", "alcohol content", poolRate), text("ibu", "bitterness", poolSmall)}},
+		},
+	},
+	{
+		name:  "university",
+		words: []string{"linguistics", "astronomy", "economics", "philosophy", "genetics", "robotics", "statistics", "geology"},
+		entities: []entitySpec{
+			{name: "faculty", nl: "faculty", plural: "faculties", attrs: []attrSpec{
+				text("faculty_name", "faculty name", poolWord), text("building", "building", poolCity),
+				text("budget", "budget", poolMoney)}},
+			{name: "professor", nl: "professor", plural: "professors", parents: []int{0}, attrs: []attrSpec{
+				text("prof_name", "professor name", poolPerson), text("field", "field", poolWord),
+				text("age", "age", poolSmall), text("citations", "citation count", poolBig)}},
+			{name: "lab", nl: "laboratory", plural: "laboratories", parents: []int{0, 1}, attrs: []attrSpec{
+				text("lab_name", "lab name", poolWord), text("grant", "grant amount", poolMoney)}},
+		},
+	},
+	{
+		name:  "realestate",
+		words: []string{"apartment", "townhouse", "bungalow", "duplex", "condo", "cottage", "mansion", "loft"},
+		entities: []entitySpec{
+			{name: "agency", nl: "agency", plural: "agencies", attrs: []attrSpec{
+				text("agency_name", "agency name", poolWord), text("city", "city", poolCity),
+				text("founded", "founding year", poolYear)}},
+			{name: "agent", nl: "agent", plural: "agents", parents: []int{0}, attrs: []attrSpec{
+				text("agent_name", "agent name", poolPerson), text("sales", "sales count", poolSmall),
+				text("commission", "commission", poolMoney)}},
+			{name: "property", nl: "property", plural: "properties", parents: []int{0, 1}, attrs: []attrSpec{
+				text("property_type", "property type", poolWord), text("asking_price", "asking price", poolMoney),
+				text("bedrooms", "bedroom count", poolRate)}},
+		},
+	},
+	{
+		name:  "podcast",
+		words: []string{"interview", "truecrime", "comedy", "tech", "history", "finance", "health", "fiction"},
+		entities: []entitySpec{
+			{name: "network", nl: "podcast network", plural: "podcast networks", attrs: []attrSpec{
+				text("network_name", "network name", poolWord), text("country", "country", poolCountry),
+				text("shows", "show count", poolSmall)}},
+			{name: "podcast", nl: "podcast", plural: "podcasts", parents: []int{0}, attrs: []attrSpec{
+				text("podcast_title", "podcast title", poolWord), text("genre", "genre", poolWord),
+				text("episodes", "episode count", poolBig), text("listeners", "listener count", poolBig)}},
+			{name: "host", nl: "host", plural: "hosts", parents: []int{1}, attrs: []attrSpec{
+				text("host_name", "host name", poolPerson), text("age", "age", poolSmall)}},
+		},
+	},
+	{
+		name:  "logistics",
+		words: []string{"parcel", "pallet", "freight", "document", "fragile", "perishable", "oversize", "express"},
+		entities: []entitySpec{
+			{name: "warehouse", nl: "warehouse", plural: "warehouses", attrs: []attrSpec{
+				text("warehouse_city", "warehouse city", poolCity), text("capacity", "capacity", poolBig),
+				text("docks", "dock count", poolSmall)}},
+			{name: "driver", nl: "driver", plural: "drivers", parents: []int{0}, attrs: []attrSpec{
+				text("driver_name", "driver name", poolPerson), text("license_year", "license year", poolYear),
+				text("deliveries", "delivery count", poolBig)}},
+			{name: "shipment", nl: "shipment", plural: "shipments", parents: []int{0, 1}, attrs: []attrSpec{
+				text("cargo_type", "cargo type", poolWord), text("weight", "weight", poolBig),
+				text("fee", "fee", poolMoney)}},
+		},
+	},
+	// ---- dev-reserved domains below (unseen databases at training time) ----
+	{
+		name:  "tv",
+		words: []string{"news", "cartoon", "sitcom", "reality", "quiz", "talk", "crime", "nature"},
+		entities: []entitySpec{
+			{name: "tv_channel", nl: "TV channel", plural: "TV channels", attrs: []attrSpec{
+				text("series_name", "series name", poolWord), text("country", "country", poolCountry),
+				text("language", "language", poolCountry), text("hight_definition_TV", "HD flag", poolRate)}},
+			{name: "tv_series", nl: "TV series", plural: "TV series", parents: []int{0}, attrs: []attrSpec{
+				text("episode", "episode", poolWord), text("rating", "rating", poolRate),
+				text("share", "share", poolSmall), text("weekly_rank", "weekly rank", poolSmall)}},
+			{name: "cartoon", nl: "cartoon", plural: "cartoons", parents: []int{0}, attrs: []attrSpec{
+				text("cartoon_title", "cartoon title", poolWord), text("written_by", "writer", poolPerson),
+				text("directed_by", "director", poolPerson), text("production_code", "production code", poolBig)}},
+		},
+	},
+	{
+		name:  "wine",
+		words: []string{"merlot", "pinot", "syrah", "riesling", "malbec", "zinfandel", "chardonnay", "rose"},
+		entities: []entitySpec{
+			{name: "winery", nl: "winery", plural: "wineries", attrs: []attrSpec{
+				text("winery_name", "winery name", poolWord), text("region", "region", poolCity),
+				text("founded", "founding year", poolYear)}},
+			{name: "wine", nl: "wine", plural: "wines", parents: []int{0}, attrs: []attrSpec{
+				text("wine_name", "wine name", poolWord), text("grape", "grape variety", poolWord),
+				text("vintage", "vintage year", poolYear), text("bottle_price", "bottle price", poolMoney),
+				text("wine_score", "score", poolRate)}},
+		},
+	},
+	{
+		name:  "climbing",
+		words: []string{"granite", "limestone", "alpine", "boulder", "crack", "slab", "ridge", "icefall"},
+		entities: []entitySpec{
+			{name: "mountain", nl: "mountain", plural: "mountains", attrs: []attrSpec{
+				text("mountain_name", "mountain name", poolCity), text("height", "height", poolBig),
+				text("country", "country", poolCountry), text("prominence", "prominence", poolBig)}},
+			{name: "climber", nl: "climber", plural: "climbers", parents: []int{0}, attrs: []attrSpec{
+				text("climber_name", "climber name", poolPerson), text("country", "country", poolCountry),
+				text("points", "point total", poolBig)}},
+		},
+	},
+	{
+		name:  "theme_park",
+		words: []string{"coaster", "carousel", "ferris", "log_flume", "teacup", "ghost_house", "drop_tower", "bumper"},
+		entities: []entitySpec{
+			{name: "park", nl: "theme park", plural: "theme parks", attrs: []attrSpec{
+				text("park_name", "park name", poolWord), text("city", "city", poolCity),
+				text("open_year", "opening year", poolYear), text("area", "area", poolBig)}},
+			{name: "ride", nl: "ride", plural: "rides", parents: []int{0}, attrs: []attrSpec{
+				text("ride_name", "ride name", poolWord), text("ride_type", "ride type", poolWord),
+				text("max_speed", "maximum speed", poolBig), text("opened", "opening year", poolYear)}},
+			{name: "visitor", nl: "visitor", plural: "visitors", parents: []int{0}, attrs: []attrSpec{
+				text("visitor_name", "visitor name", poolPerson), text("age", "age", poolSmall),
+				text("spent", "money spent", poolMoney)}},
+		},
+	},
+	{
+		name:  "shipping",
+		words: []string{"container", "tanker", "bulk", "reefer", "ro_ro", "feeder", "barge", "ferry"},
+		entities: []entitySpec{
+			{name: "port", nl: "port", plural: "ports", attrs: []attrSpec{
+				text("port_name", "port name", poolCity), text("country", "country", poolCountry),
+				text("berths", "berth count", poolSmall)}},
+			{name: "ship", nl: "ship", plural: "ships", parents: []int{0}, attrs: []attrSpec{
+				text("ship_name", "ship name", poolWord), text("ship_type", "ship type", poolWord),
+				text("tonnage", "tonnage", poolBig), text("built_year", "build year", poolYear)}},
+			{name: "voyage", nl: "voyage", plural: "voyages", parents: []int{1}, attrs: []attrSpec{
+				text("destination", "destination", poolCity), text("cargo_tons", "cargo tons", poolBig),
+				text("voyage_year", "voyage year", poolYear)}},
+		},
+	},
+	{
+		name:  "esports",
+		words: []string{"strategy", "shooter", "moba", "fighting", "racing", "puzzle", "card", "sandbox"},
+		entities: []entitySpec{
+			{name: "team", nl: "team", plural: "teams", attrs: []attrSpec{
+				text("team_name", "team name", poolWord), text("region", "region", poolCountry),
+				text("founded", "founding year", poolYear), text("earnings", "earnings", poolMoney)}},
+			{name: "gamer", nl: "gamer", plural: "gamers", parents: []int{0}, attrs: []attrSpec{
+				text("gamer_tag", "gamer tag", poolPerson), text("main_game", "main game", poolWord),
+				text("age", "age", poolSmall), text("rating", "rating", poolRate)}},
+			{name: "tournament", nl: "tournament", plural: "tournaments", parents: []int{0}, attrs: []attrSpec{
+				text("tour_name", "tournament name", poolWord), text("prize_pool", "prize pool", poolMoney),
+				text("tour_year", "tournament year", poolYear)}},
+		},
+	},
+}
+
+// trainDomainCount is how many leading entries of domains seed the training
+// split; the rest are dev-only.
+const trainDomainCount = 26
+
+// personNames, cityNames, countryNames are shared value pools.
+var personNames = []string{
+	"Avery Brooks", "Jordan Lee", "Casey Smith", "Riley Chen", "Morgan Davis",
+	"Quinn Taylor", "Harper Jones", "Rowan White", "Sage Miller", "Emerson Clark",
+	"Todd Casey", "Dana Flores", "Jamie Patel", "Alex Novak", "Sam Rivera",
+	"Robin Walsh", "Drew Kim", "Blake Moore", "Skyler Adams", "Reese Turner",
+	"Parker Young", "Finley Scott", "Hayden Brown", "Peyton Hall", "Cameron Reed",
+}
+
+var cityNames = []string{
+	"Springfield", "Riverton", "Lakeside", "Fairview", "Georgetown", "Madison",
+	"Clinton", "Salem", "Bristol", "Ashland", "Burlington", "Manchester",
+	"Oxford", "Clayton", "Dayton", "Franklin", "Greenville", "Hudson",
+	"Kingston", "Milton",
+}
+
+var countryNames = []string{
+	"USA", "UK", "France", "Germany", "Japan", "Brazil", "Canada", "Italy",
+	"Spain", "Australia", "Korea", "Netherlands", "Sweden", "Mexico", "India",
+}
+
+// synonymMap drives the Spider-SYN variant: NL schema mentions are replaced
+// by handpicked synonyms unseen in the training NL distribution.
+var synonymMap = map[string]string{
+	"name": "title", "age": "years of life", "country": "nation",
+	"city": "town", "salary": "pay", "price": "cost", "rating": "grade",
+	"year": "calendar year", "genre": "style", "count": "number",
+	"band": "music group", "singer": "vocalist", "teacher": "instructor",
+	"student": "pupil", "employee": "staff member", "company": "firm",
+	"doctor": "physician", "patient": "sick person", "book": "volume",
+	"author": "writer", "player": "athlete", "club": "squad",
+	"movie": "film", "director": "filmmaker", "hotel": "lodge",
+	"guest": "visitor", "customer": "client", "wine": "bottle",
+	"mountain": "peak", "team": "crew", "ship": "vessel", "train": "locomotive",
+	"budget": "funds", "attendance": "turnout", "revenue": "income",
+	"height": "elevation", "weight": "mass", "wage": "pay packet",
+}

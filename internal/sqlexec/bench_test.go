@@ -1,0 +1,96 @@
+package sqlexec
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/schema"
+	"repro/internal/sqlir"
+)
+
+// Engine micro-benchmarks: the EX/TS metrics and consistency voting execute
+// tens of thousands of queries per experiment, so per-query latency is the
+// harness's dominant cost.
+
+func benchDB(rows int) *schema.Database {
+	rng := rand.New(rand.NewSource(7))
+	parent := &schema.Table{
+		Name: "p", PrimaryKey: "id",
+		Columns: []schema.Column{
+			{Name: "id", Type: schema.TypeNumber},
+			{Name: "name", Type: schema.TypeText},
+			{Name: "grade", Type: schema.TypeNumber},
+		},
+	}
+	for i := 0; i < rows/4+1; i++ {
+		parent.Rows = append(parent.Rows, []schema.Value{
+			schema.N(float64(i + 1)),
+			schema.S(fmt.Sprintf("name%d", i%17)),
+			schema.N(float64(rng.Intn(10))),
+		})
+	}
+	child := &schema.Table{
+		Name: "c", PrimaryKey: "id",
+		Columns: []schema.Column{
+			{Name: "id", Type: schema.TypeNumber},
+			{Name: "p_id", Type: schema.TypeNumber},
+			{Name: "val", Type: schema.TypeNumber},
+		},
+	}
+	for i := 0; i < rows; i++ {
+		child.Rows = append(child.Rows, []schema.Value{
+			schema.N(float64(i + 1)),
+			schema.N(float64(1 + rng.Intn(len(parent.Rows)))),
+			schema.N(float64(rng.Intn(1000))),
+		})
+	}
+	return &schema.Database{
+		Name:   "bench",
+		Tables: []*schema.Table{parent, child},
+		ForeignKeys: []schema.ForeignKey{
+			{FromTable: "c", FromColumn: "p_id", ToTable: "p", ToColumn: "id"},
+		},
+	}
+}
+
+func benchExec(b *testing.B, rows int, sql string) {
+	db := benchDB(rows)
+	sel := sqlir.MustParse(sql)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Exec(db, sel); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExecScanFilter(b *testing.B) {
+	benchExec(b, 1000, "SELECT val FROM c WHERE val > 500")
+}
+
+func BenchmarkExecHashJoin(b *testing.B) {
+	benchExec(b, 1000, "SELECT T1.val FROM c AS T1 JOIN p AS T2 ON T1.p_id = T2.id WHERE T2.grade > 5")
+}
+
+func BenchmarkExecGroupBy(b *testing.B) {
+	benchExec(b, 1000, "SELECT name, COUNT(*) FROM p GROUP BY name HAVING COUNT(*) > 2")
+}
+
+func BenchmarkExecSetOp(b *testing.B) {
+	benchExec(b, 1000, "SELECT name FROM p WHERE grade > 5 EXCEPT SELECT name FROM p WHERE grade < 3")
+}
+
+func BenchmarkExecSubquery(b *testing.B) {
+	benchExec(b, 1000, "SELECT name FROM p WHERE grade = (SELECT MAX(grade) FROM p)")
+}
+
+func BenchmarkParse(b *testing.B) {
+	sql := "SELECT T1.val FROM c AS T1 JOIN p AS T2 ON T1.p_id = T2.id WHERE T2.grade > 5 GROUP BY T1.val ORDER BY COUNT(*) DESC LIMIT 3"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sqlir.Parse(sql); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,488 @@
+package sqlexec
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/schema"
+	"repro/internal/sqlir"
+)
+
+// evalValue evaluates a scalar expression against one row.
+func (e *executor) evalValue(ex sqlir.Expr, bindings []binding, row []schema.Value) (schema.Value, error) {
+	switch v := ex.(type) {
+	case *sqlir.ColumnRef:
+		i, err := resolveCol(v, bindings)
+		if err != nil {
+			return schema.Null(), err
+		}
+		return row[i], nil
+	case *sqlir.Literal:
+		if v.IsString {
+			return schema.S(v.Str), nil
+		}
+		return schema.N(v.Num), nil
+	case *sqlir.Binary:
+		switch v.Op {
+		case "+", "-", "*", "/":
+			l, err := e.evalValue(v.L, bindings, row)
+			if err != nil {
+				return schema.Null(), err
+			}
+			r, err := e.evalValue(v.R, bindings, row)
+			if err != nil {
+				return schema.Null(), err
+			}
+			return arith(v.Op, l, r)
+		default:
+			ok, err := e.evalBool(ex, bindings, row)
+			if err != nil {
+				return schema.Null(), err
+			}
+			if ok {
+				return schema.N(1), nil
+			}
+			return schema.N(0), nil
+		}
+	case *sqlir.Subquery:
+		return e.scalarSubquery(v.Sel)
+	case *sqlir.Agg:
+		if !sqlir.AggFuncs[v.Fn] {
+			return schema.Null(), fmt.Errorf("%w: %s", ErrUnknownFunction, v.Fn)
+		}
+		// A bare aggregate over a row context aggregates the whole relation;
+		// callers route aggregate selects through group evaluation, so an
+		// aggregate reaching here is an error in non-aggregate context.
+		return schema.Null(), fmt.Errorf("sqlexec: aggregate %s in row context", v.Fn)
+	default:
+		ok, err := e.evalBool(ex, bindings, row)
+		if err != nil {
+			return schema.Null(), err
+		}
+		if ok {
+			return schema.N(1), nil
+		}
+		return schema.N(0), nil
+	}
+}
+
+func arith(op string, l, r schema.Value) (schema.Value, error) {
+	if l.IsNull() || r.IsNull() {
+		return schema.Null(), nil
+	}
+	if l.Kind != schema.KindNum || r.Kind != schema.KindNum {
+		return schema.Null(), fmt.Errorf("sqlexec: arithmetic on non-numeric values")
+	}
+	switch op {
+	case "+":
+		return schema.N(l.Num + r.Num), nil
+	case "-":
+		return schema.N(l.Num - r.Num), nil
+	case "*":
+		return schema.N(l.Num * r.Num), nil
+	case "/":
+		if r.Num == 0 {
+			return schema.Null(), nil
+		}
+		return schema.N(l.Num / r.Num), nil
+	}
+	return schema.Null(), fmt.Errorf("sqlexec: unknown arithmetic op %q", op)
+}
+
+// evalBool evaluates a boolean expression against one row.
+func (e *executor) evalBool(ex sqlir.Expr, bindings []binding, row []schema.Value) (bool, error) {
+	switch v := ex.(type) {
+	case *sqlir.Binary:
+		switch v.Op {
+		case "AND":
+			l, err := e.evalBool(v.L, bindings, row)
+			if err != nil {
+				return false, err
+			}
+			if !l {
+				return false, nil
+			}
+			return e.evalBool(v.R, bindings, row)
+		case "OR":
+			l, err := e.evalBool(v.L, bindings, row)
+			if err != nil {
+				return false, err
+			}
+			if l {
+				return true, nil
+			}
+			return e.evalBool(v.R, bindings, row)
+		case "=", "!=", "<", "<=", ">", ">=":
+			l, err := e.evalValue(v.L, bindings, row)
+			if err != nil {
+				return false, err
+			}
+			r, err := e.evalValue(v.R, bindings, row)
+			if err != nil {
+				return false, err
+			}
+			return compare(v.Op, l, r), nil
+		default:
+			return false, fmt.Errorf("sqlexec: unexpected operator %q in boolean context", v.Op)
+		}
+	case *sqlir.Not:
+		b, err := e.evalBool(v.E, bindings, row)
+		return !b, err
+	case *sqlir.Between:
+		x, err := e.evalValue(v.E, bindings, row)
+		if err != nil {
+			return false, err
+		}
+		lo, err := e.evalValue(v.Lo, bindings, row)
+		if err != nil {
+			return false, err
+		}
+		hi, err := e.evalValue(v.Hi, bindings, row)
+		if err != nil {
+			return false, err
+		}
+		in := !x.IsNull() && x.Compare(lo) >= 0 && x.Compare(hi) <= 0
+		return in != v.Negate, nil
+	case *sqlir.Like:
+		x, err := e.evalValue(v.E, bindings, row)
+		if err != nil {
+			return false, err
+		}
+		p, err := e.evalValue(v.Pattern, bindings, row)
+		if err != nil {
+			return false, err
+		}
+		m := likeMatch(x.String(), p.String())
+		return m != v.Negate, nil
+	case *sqlir.In:
+		x, err := e.evalValue(v.E, bindings, row)
+		if err != nil {
+			return false, err
+		}
+		var members []schema.Value
+		if v.Sub != nil {
+			res, err := e.execSub(v.Sub)
+			if err != nil {
+				return false, err
+			}
+			for _, r := range res.Rows {
+				if len(r) > 0 {
+					members = append(members, r[0])
+				}
+			}
+		} else {
+			for _, it := range v.List {
+				m, err := e.evalValue(it, bindings, row)
+				if err != nil {
+					return false, err
+				}
+				members = append(members, m)
+			}
+		}
+		found := false
+		for _, m := range members {
+			if x.Equal(m) {
+				found = true
+				break
+			}
+		}
+		return found != v.Negate, nil
+	case *sqlir.Exists:
+		res, err := e.execSub(v.Sub)
+		if err != nil {
+			return false, err
+		}
+		return (len(res.Rows) > 0) != v.Negate, nil
+	case *sqlir.IsNull:
+		x, err := e.evalValue(v.E, bindings, row)
+		if err != nil {
+			return false, err
+		}
+		return x.IsNull() != v.Negate, nil
+	case *sqlir.Literal:
+		if v.IsString {
+			return v.Str != "", nil
+		}
+		return v.Num != 0, nil
+	default:
+		return false, fmt.Errorf("sqlexec: expression %T not valid in boolean context", ex)
+	}
+}
+
+func compare(op string, l, r schema.Value) bool {
+	if l.IsNull() || r.IsNull() {
+		return false
+	}
+	// Numeric-looking string vs number: coerce, matching SQLite affinity.
+	if l.Kind != r.Kind {
+		if l.Kind == schema.KindStr && r.Kind == schema.KindNum {
+			if n, ok := parseNum(l.Str); ok {
+				l = schema.N(n)
+			}
+		} else if l.Kind == schema.KindNum && r.Kind == schema.KindStr {
+			if n, ok := parseNum(r.Str); ok {
+				r = schema.N(n)
+			}
+		}
+	}
+	c := l.Compare(r)
+	switch op {
+	case "=":
+		return c == 0
+	case "!=":
+		return c != 0
+	case "<":
+		return c < 0
+	case "<=":
+		return c <= 0
+	case ">":
+		return c > 0
+	case ">=":
+		return c >= 0
+	}
+	return false
+}
+
+func parseNum(s string) (float64, bool) {
+	var f float64
+	var read int
+	_, err := fmt.Sscanf(s, "%g%n", &f, &read)
+	if err != nil || read != len(s) {
+		return 0, false
+	}
+	return f, true
+}
+
+// likeMatch implements SQL LIKE with % and _ wildcards, case-insensitive.
+func likeMatch(s, pattern string) bool {
+	s = strings.ToLower(s)
+	pattern = strings.ToLower(pattern)
+	return likeRec(s, pattern)
+}
+
+func likeRec(s, p string) bool {
+	if p == "" {
+		return s == ""
+	}
+	switch p[0] {
+	case '%':
+		for i := 0; i <= len(s); i++ {
+			if likeRec(s[i:], p[1:]) {
+				return true
+			}
+		}
+		return false
+	case '_':
+		return s != "" && likeRec(s[1:], p[1:])
+	default:
+		return s != "" && s[0] == p[0] && likeRec(s[1:], p[1:])
+	}
+}
+
+// scalarSubquery executes a subquery expected to yield a single scalar.
+func (e *executor) scalarSubquery(sel *sqlir.Select) (schema.Value, error) {
+	res, err := e.execSub(sel)
+	if err != nil {
+		return schema.Null(), err
+	}
+	if len(res.Rows) == 0 || len(res.Rows[0]) == 0 {
+		return schema.Null(), nil
+	}
+	return res.Rows[0][0], nil
+}
+
+// evalGroupValue evaluates an expression over a group of rows (aggregate
+// context). Non-aggregate column references take the value from the first
+// row of the group (they are grouping keys in well-formed SQL).
+func (e *executor) evalGroupValue(ex sqlir.Expr, bindings []binding, group [][]schema.Value) (schema.Value, error) {
+	switch v := ex.(type) {
+	case *sqlir.Agg:
+		return e.evalAgg(v, bindings, group)
+	case *sqlir.ColumnRef, *sqlir.Literal, *sqlir.Subquery:
+		if len(group) == 0 {
+			if _, ok := ex.(*sqlir.Literal); ok {
+				return e.evalValue(ex, bindings, nil)
+			}
+			return schema.Null(), nil
+		}
+		return e.evalValue(ex, bindings, group[0])
+	case *sqlir.Binary:
+		switch v.Op {
+		case "+", "-", "*", "/":
+			l, err := e.evalGroupValue(v.L, bindings, group)
+			if err != nil {
+				return schema.Null(), err
+			}
+			r, err := e.evalGroupValue(v.R, bindings, group)
+			if err != nil {
+				return schema.Null(), err
+			}
+			return arith(v.Op, l, r)
+		}
+		ok, err := e.evalBoolGroup(ex, bindings, group)
+		if err != nil {
+			return schema.Null(), err
+		}
+		if ok {
+			return schema.N(1), nil
+		}
+		return schema.N(0), nil
+	default:
+		if len(group) == 0 {
+			return schema.Null(), nil
+		}
+		return e.evalValue(ex, bindings, group[0])
+	}
+}
+
+// evalBoolGroup evaluates a HAVING-style boolean over a group.
+func (e *executor) evalBoolGroup(ex sqlir.Expr, bindings []binding, group [][]schema.Value) (bool, error) {
+	switch v := ex.(type) {
+	case *sqlir.Binary:
+		switch v.Op {
+		case "AND":
+			l, err := e.evalBoolGroup(v.L, bindings, group)
+			if err != nil || !l {
+				return false, err
+			}
+			return e.evalBoolGroup(v.R, bindings, group)
+		case "OR":
+			l, err := e.evalBoolGroup(v.L, bindings, group)
+			if err != nil {
+				return false, err
+			}
+			if l {
+				return true, nil
+			}
+			return e.evalBoolGroup(v.R, bindings, group)
+		case "=", "!=", "<", "<=", ">", ">=":
+			l, err := e.evalGroupValue(v.L, bindings, group)
+			if err != nil {
+				return false, err
+			}
+			r, err := e.evalGroupValue(v.R, bindings, group)
+			if err != nil {
+				return false, err
+			}
+			return compare(v.Op, l, r), nil
+		}
+		return false, fmt.Errorf("sqlexec: unexpected operator %q in HAVING", v.Op)
+	case *sqlir.Not:
+		b, err := e.evalBoolGroup(v.E, bindings, group)
+		return !b, err
+	default:
+		if len(group) == 0 {
+			return false, nil
+		}
+		return e.evalBool(ex, bindings, group[0])
+	}
+}
+
+// evalAgg computes one aggregate over a group. The engine enforces the
+// SQLite rule that aggregates take exactly one argument, so the paper's
+// Aggregation-Hallucination class (COUNT(DISTINCT a, b)) fails here.
+func (e *executor) evalAgg(a *sqlir.Agg, bindings []binding, group [][]schema.Value) (schema.Value, error) {
+	if !sqlir.AggFuncs[a.Fn] {
+		return schema.Null(), fmt.Errorf("%w: %s", ErrUnknownFunction, a.Fn)
+	}
+	if len(a.Args) != 1 {
+		return schema.Null(), fmt.Errorf("%w: %s takes 1 argument, got %d", ErrAggArity, a.Fn, len(a.Args))
+	}
+	arg := a.Args[0]
+	if _, isStar := arg.(*sqlir.Star); isStar {
+		if a.Fn != "COUNT" {
+			return schema.Null(), fmt.Errorf("%w: %s(*)", ErrUnknownFunction, a.Fn)
+		}
+		return schema.N(float64(len(group))), nil
+	}
+	var vals []schema.Value
+	for _, row := range group {
+		v, err := e.evalValue(arg, bindings, row)
+		if err != nil {
+			return schema.Null(), err
+		}
+		if !v.IsNull() {
+			vals = append(vals, v)
+		}
+	}
+	if a.Distinct {
+		seen := map[string]bool{}
+		uniq := vals[:0:0]
+		for _, v := range vals {
+			k := strings.ToLower(v.String())
+			if !seen[k] {
+				seen[k] = true
+				uniq = append(uniq, v)
+			}
+		}
+		vals = uniq
+	}
+	switch a.Fn {
+	case "COUNT":
+		return schema.N(float64(len(vals))), nil
+	case "SUM", "AVG":
+		if len(vals) == 0 {
+			return schema.Null(), nil
+		}
+		sum := 0.0
+		for _, v := range vals {
+			if v.Kind != schema.KindNum {
+				n, ok := parseNum(v.Str)
+				if !ok {
+					continue
+				}
+				sum += n
+				continue
+			}
+			sum += v.Num
+		}
+		if a.Fn == "AVG" {
+			return schema.N(sum / float64(len(vals))), nil
+		}
+		return schema.N(sum), nil
+	case "MIN", "MAX":
+		if len(vals) == 0 {
+			return schema.Null(), nil
+		}
+		best := vals[0]
+		for _, v := range vals[1:] {
+			c := v.Compare(best)
+			if (a.Fn == "MIN" && c < 0) || (a.Fn == "MAX" && c > 0) {
+				best = v
+			}
+		}
+		return best, nil
+	}
+	return schema.Null(), fmt.Errorf("%w: %s", ErrUnknownFunction, a.Fn)
+}
+
+func exprHasAgg(ex sqlir.Expr) bool {
+	has := false
+	var walk func(sqlir.Expr)
+	walk = func(e sqlir.Expr) {
+		switch v := e.(type) {
+		case *sqlir.Agg:
+			if sqlir.AggFuncs[v.Fn] {
+				has = true
+			}
+			for _, a := range v.Args {
+				walk(a)
+			}
+		case *sqlir.Binary:
+			walk(v.L)
+			walk(v.R)
+		case *sqlir.Not:
+			walk(v.E)
+		case *sqlir.Between:
+			walk(v.E)
+		case *sqlir.Like:
+			walk(v.E)
+		case *sqlir.In:
+			walk(v.E)
+		case *sqlir.IsNull:
+			walk(v.E)
+		}
+	}
+	walk(ex)
+	return has
+}

@@ -1,0 +1,336 @@
+package sqlexec
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/schema"
+	"repro/internal/sqlir"
+)
+
+// testDB builds a small concert database used across engine tests.
+func testDB() *schema.Database {
+	singer := &schema.Table{
+		Name:       "singer",
+		PrimaryKey: "id",
+		Columns: []schema.Column{
+			{Name: "id", Type: schema.TypeNumber},
+			{Name: "name", Type: schema.TypeText},
+			{Name: "age", Type: schema.TypeNumber},
+			{Name: "country", Type: schema.TypeText},
+			{Name: "band_id", Type: schema.TypeNumber},
+		},
+		Rows: [][]schema.Value{
+			{schema.N(1), schema.S("Ann"), schema.N(25), schema.S("US"), schema.N(1)},
+			{schema.N(2), schema.S("Bob"), schema.N(32), schema.S("UK"), schema.N(1)},
+			{schema.N(3), schema.S("Cat"), schema.N(19), schema.S("US"), schema.N(2)},
+			{schema.N(4), schema.S("Dan"), schema.N(41), schema.S("FR"), schema.N(2)},
+			{schema.N(5), schema.S("Eve"), schema.N(25), schema.S("US"), schema.Null()},
+		},
+	}
+	band := &schema.Table{
+		Name:       "band",
+		PrimaryKey: "id",
+		Columns: []schema.Column{
+			{Name: "id", Type: schema.TypeNumber},
+			{Name: "bname", Type: schema.TypeText},
+			{Name: "genre", Type: schema.TypeText},
+		},
+		Rows: [][]schema.Value{
+			{schema.N(1), schema.S("Rockers"), schema.S("rock")},
+			{schema.N(2), schema.S("Jazzers"), schema.S("jazz")},
+			{schema.N(3), schema.S("Poppers"), schema.S("pop")},
+		},
+	}
+	return &schema.Database{
+		Name:   "concert",
+		Tables: []*schema.Table{singer, band},
+		ForeignKeys: []schema.ForeignKey{
+			{FromTable: "singer", FromColumn: "band_id", ToTable: "band", ToColumn: "id"},
+		},
+	}
+}
+
+func mustExec(t *testing.T, sql string) *Result {
+	t.Helper()
+	res, err := ExecSQL(testDB(), sql)
+	if err != nil {
+		t.Fatalf("ExecSQL(%q): %v", sql, err)
+	}
+	return res
+}
+
+func rowsAsStrings(res *Result) [][]string {
+	out := make([][]string, len(res.Rows))
+	for i, r := range res.Rows {
+		row := make([]string, len(r))
+		for j, v := range r {
+			row[j] = v.String()
+		}
+		out[i] = row
+	}
+	return out
+}
+
+func TestSelectSimple(t *testing.T) {
+	res := mustExec(t, "SELECT name FROM singer WHERE age > 30")
+	got := rowsAsStrings(res)
+	if len(got) != 2 || got[0][0] != "Bob" || got[1][0] != "Dan" {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestSelectStar(t *testing.T) {
+	res := mustExec(t, "SELECT * FROM band")
+	if len(res.Rows) != 3 || len(res.Cols) != 3 {
+		t.Errorf("got %d rows x %d cols", len(res.Rows), len(res.Cols))
+	}
+}
+
+func TestWhereAndOr(t *testing.T) {
+	res := mustExec(t, "SELECT name FROM singer WHERE country = 'US' AND age < 20 OR name = 'Dan'")
+	if len(res.Rows) != 2 {
+		t.Errorf("got %v", rowsAsStrings(res))
+	}
+}
+
+func TestJoin(t *testing.T) {
+	res := mustExec(t, "SELECT T1.name, T2.bname FROM singer AS T1 JOIN band AS T2 ON T1.band_id = T2.id WHERE T2.genre = 'rock'")
+	got := rowsAsStrings(res)
+	if len(got) != 2 {
+		t.Fatalf("got %v", got)
+	}
+	for _, r := range got {
+		if r[1] != "Rockers" {
+			t.Errorf("wrong band: %v", r)
+		}
+	}
+}
+
+func TestJoinSkipsNullKeys(t *testing.T) {
+	res := mustExec(t, "SELECT T1.name FROM singer AS T1 JOIN band AS T2 ON T1.band_id = T2.id")
+	if len(res.Rows) != 4 { // Eve has NULL band_id
+		t.Errorf("got %d rows, want 4", len(res.Rows))
+	}
+}
+
+func TestGroupByHaving(t *testing.T) {
+	res := mustExec(t, "SELECT country, COUNT(*) FROM singer GROUP BY country HAVING COUNT(*) >= 2")
+	got := rowsAsStrings(res)
+	if len(got) != 1 || got[0][0] != "US" || got[0][1] != "3" {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	res := mustExec(t, "SELECT COUNT(*), SUM(age), AVG(age), MIN(age), MAX(age) FROM singer")
+	got := rowsAsStrings(res)[0]
+	want := []string{"5", "142", "28.4", "19", "41"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("agg %d: got %s want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCountDistinct(t *testing.T) {
+	res := mustExec(t, "SELECT COUNT(DISTINCT country) FROM singer")
+	if rowsAsStrings(res)[0][0] != "3" {
+		t.Errorf("got %v", rowsAsStrings(res))
+	}
+}
+
+func TestOrderByLimit(t *testing.T) {
+	res := mustExec(t, "SELECT name FROM singer ORDER BY age DESC LIMIT 2")
+	got := rowsAsStrings(res)
+	if len(got) != 2 || got[0][0] != "Dan" || got[1][0] != "Bob" {
+		t.Errorf("got %v", got)
+	}
+	if !res.Ordered {
+		t.Error("result should be marked ordered")
+	}
+}
+
+func TestOrderByAggregate(t *testing.T) {
+	res := mustExec(t, "SELECT country FROM singer GROUP BY country ORDER BY COUNT(*) DESC LIMIT 1")
+	got := rowsAsStrings(res)
+	if len(got) != 1 || got[0][0] != "US" {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	res := mustExec(t, "SELECT DISTINCT country FROM singer")
+	if len(res.Rows) != 3 {
+		t.Errorf("got %v", rowsAsStrings(res))
+	}
+}
+
+func TestSetOps(t *testing.T) {
+	union := mustExec(t, "SELECT country FROM singer UNION SELECT genre FROM band")
+	if len(union.Rows) != 6 {
+		t.Errorf("UNION got %v", rowsAsStrings(union))
+	}
+	except := mustExec(t, "SELECT country FROM singer EXCEPT SELECT country FROM singer WHERE age > 30")
+	if len(except.Rows) != 1 || rowsAsStrings(except)[0][0] != "US" {
+		t.Errorf("EXCEPT got %v", rowsAsStrings(except))
+	}
+	intersect := mustExec(t, "SELECT country FROM singer INTERSECT SELECT country FROM singer WHERE age < 26")
+	if len(intersect.Rows) != 1 {
+		t.Errorf("INTERSECT got %v", rowsAsStrings(intersect))
+	}
+}
+
+func TestUnionAllKeepsDuplicates(t *testing.T) {
+	res := mustExec(t, "SELECT country FROM singer UNION ALL SELECT country FROM singer")
+	if len(res.Rows) != 10 {
+		t.Errorf("UNION ALL got %d rows, want 10", len(res.Rows))
+	}
+}
+
+func TestInSubquery(t *testing.T) {
+	res := mustExec(t, "SELECT name FROM singer WHERE band_id IN (SELECT id FROM band WHERE genre = 'jazz')")
+	got := rowsAsStrings(res)
+	if len(got) != 2 {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestNotInSubquery(t *testing.T) {
+	res := mustExec(t, "SELECT name FROM singer WHERE band_id NOT IN (SELECT id FROM band WHERE genre = 'jazz')")
+	got := rowsAsStrings(res)
+	// Ann, Bob (band 1). Eve's NULL band_id: NULL NOT IN (...) is true here
+	// since Equal on NULL vs number is false — acceptable subset semantics.
+	if len(got) != 3 {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestScalarSubquery(t *testing.T) {
+	res := mustExec(t, "SELECT name FROM singer WHERE age = (SELECT MAX(age) FROM singer)")
+	got := rowsAsStrings(res)
+	if len(got) != 1 || got[0][0] != "Dan" {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestBetweenLike(t *testing.T) {
+	res := mustExec(t, "SELECT name FROM singer WHERE age BETWEEN 20 AND 30")
+	if len(res.Rows) != 2 {
+		t.Errorf("BETWEEN got %v", rowsAsStrings(res))
+	}
+	res = mustExec(t, "SELECT name FROM singer WHERE name LIKE '%a%'")
+	if len(res.Rows) != 3 { // Ann, Cat, Dan (case-insensitive)
+		t.Errorf("LIKE got %v", rowsAsStrings(res))
+	}
+	res = mustExec(t, "SELECT name FROM singer WHERE name NOT LIKE 'A%'")
+	if len(res.Rows) != 4 {
+		t.Errorf("NOT LIKE got %v", rowsAsStrings(res))
+	}
+}
+
+func TestIsNull(t *testing.T) {
+	res := mustExec(t, "SELECT name FROM singer WHERE band_id IS NULL")
+	got := rowsAsStrings(res)
+	if len(got) != 1 || got[0][0] != "Eve" {
+		t.Errorf("got %v", got)
+	}
+	res = mustExec(t, "SELECT name FROM singer WHERE band_id IS NOT NULL")
+	if len(res.Rows) != 4 {
+		t.Errorf("IS NOT NULL got %v", rowsAsStrings(res))
+	}
+}
+
+func TestExists(t *testing.T) {
+	res := mustExec(t, "SELECT bname FROM band WHERE EXISTS (SELECT id FROM singer WHERE age > 100)")
+	if len(res.Rows) != 0 {
+		t.Errorf("EXISTS got %v", rowsAsStrings(res))
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	res := mustExec(t, "SELECT age + 10 FROM singer WHERE name = 'Ann'")
+	if rowsAsStrings(res)[0][0] != "35" {
+		t.Errorf("got %v", rowsAsStrings(res))
+	}
+}
+
+// Dialect error tests: each hallucination class of Table 2 must surface as
+// a classifiable execution error.
+
+func TestErrUnknownTable(t *testing.T) {
+	_, err := ExecSQL(testDB(), "SELECT x FROM nonexistent")
+	if !errors.Is(err, ErrUnknownTable) {
+		t.Errorf("got %v, want ErrUnknownTable", err)
+	}
+}
+
+func TestErrUnknownColumn(t *testing.T) {
+	_, err := ExecSQL(testDB(), "SELECT nonexistent FROM singer")
+	if !errors.Is(err, ErrUnknownColumn) {
+		t.Errorf("got %v, want ErrUnknownColumn", err)
+	}
+}
+
+func TestErrTableColumnMismatch(t *testing.T) {
+	// genre lives in band, not singer: qualified lookup fails.
+	_, err := ExecSQL(testDB(), "SELECT T1.genre FROM singer AS T1 JOIN band AS T2 ON T1.band_id = T2.id")
+	if !errors.Is(err, ErrUnknownColumn) {
+		t.Errorf("got %v, want ErrUnknownColumn", err)
+	}
+}
+
+func TestErrAmbiguousColumn(t *testing.T) {
+	// id exists in both singer and band.
+	_, err := ExecSQL(testDB(), "SELECT id FROM singer JOIN band ON band_id = id")
+	if !errors.Is(err, ErrAmbiguousColumn) {
+		t.Errorf("got %v, want ErrAmbiguousColumn", err)
+	}
+}
+
+func TestErrFunctionHallucination(t *testing.T) {
+	_, err := ExecSQL(testDB(), "SELECT CONCAT(name, country) FROM singer")
+	if !errors.Is(err, ErrUnknownFunction) {
+		t.Errorf("got %v, want ErrUnknownFunction", err)
+	}
+}
+
+func TestErrAggregationHallucination(t *testing.T) {
+	_, err := ExecSQL(testDB(), "SELECT COUNT(DISTINCT name, country) FROM singer")
+	if !errors.Is(err, ErrAggArity) {
+		t.Errorf("got %v, want ErrAggArity", err)
+	}
+}
+
+func TestSetOpColumnMismatch(t *testing.T) {
+	_, err := ExecSQL(testDB(), "SELECT id, name FROM singer UNION SELECT id FROM band")
+	if err == nil {
+		t.Error("expected column-count error")
+	}
+}
+
+func TestGroupValueFirstRowSemantics(t *testing.T) {
+	res := mustExec(t, "SELECT country, MAX(age) FROM singer GROUP BY country ORDER BY country ASC")
+	got := rowsAsStrings(res)
+	if len(got) != 3 {
+		t.Fatalf("got %v", got)
+	}
+	if got[2][0] != "US" || got[2][1] != "25" {
+		t.Errorf("US max age: got %v", got[2])
+	}
+}
+
+func TestDeepNestingGuard(t *testing.T) {
+	sql := "SELECT name FROM singer WHERE age = (SELECT MAX(age) FROM singer)"
+	sel := sqlir.MustParse(sql)
+	// Manually build a chain deeper than maxDepth.
+	cur := sel
+	for i := 0; i < 20; i++ {
+		inner := sqlir.MustParse(sql)
+		cur.Where = &sqlir.Binary{Op: "=", L: &sqlir.ColumnRef{Column: "age"}, R: &sqlir.Subquery{Sel: inner}}
+		cur = inner
+	}
+	if _, err := Exec(testDB(), sel); err == nil {
+		t.Error("expected nesting-depth error")
+	}
+}

@@ -1,0 +1,220 @@
+package sqlexec
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/spider"
+	"repro/internal/sqlir"
+)
+
+// Property tests over the whole generated corpus: relational-algebra
+// invariants that must hold for every gold query and database the sampler
+// can produce.
+
+func corpusExamples(t *testing.T) []*spider.Example {
+	t.Helper()
+	c := spider.GenerateSmall(123, 0.08)
+	return c.Train.Examples
+}
+
+// TestPropSetOpInvariants checks EXCEPT/INTERSECT/UNION set laws on every
+// compound gold query: EXCEPT ⊆ left, INTERSECT ⊆ both, UNION ⊇ both, and
+// all three produce deduplicated output.
+func TestPropSetOpInvariants(t *testing.T) {
+	for _, e := range corpusExamples(t) {
+		if e.Gold.Compound == nil {
+			continue
+		}
+		left := sqlir.Clone(e.Gold)
+		left.Compound = nil
+		right := sqlir.Clone(e.Gold.Compound.Right)
+		lres, err := Exec(e.DB, left)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rres, err := Exec(e.DB, right)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cres, err := Exec(e.DB, e.Gold)
+		if err != nil {
+			t.Fatal(err)
+		}
+		key := func(row []string) string { return fmt.Sprint(row) }
+		set := func(res *Result) map[string]bool {
+			m := map[string]bool{}
+			for _, r := range res.Rows {
+				cells := make([]string, len(r))
+				for i, v := range r {
+					cells[i] = v.String()
+				}
+				m[key(cells)] = true
+			}
+			return m
+		}
+		ls, rs, cs := set(lres), set(rres), set(cres)
+		if len(cs) != len(cres.Rows) {
+			t.Errorf("%s output has duplicates", e.Gold.Compound.Op)
+		}
+		switch e.Gold.Compound.Op {
+		case "EXCEPT":
+			for k := range cs {
+				if !ls[k] {
+					t.Errorf("EXCEPT produced row not in left: %s", k)
+				}
+				if rs[k] {
+					t.Errorf("EXCEPT kept row present in right: %s", k)
+				}
+			}
+		case "INTERSECT":
+			for k := range cs {
+				if !ls[k] || !rs[k] {
+					t.Errorf("INTERSECT produced row missing from a side: %s", k)
+				}
+			}
+		case "UNION":
+			for k := range ls {
+				if !cs[k] {
+					t.Errorf("UNION lost left row: %s", k)
+				}
+			}
+			for k := range rs {
+				if !cs[k] {
+					t.Errorf("UNION lost right row: %s", k)
+				}
+			}
+		}
+	}
+}
+
+// TestPropWhereNarrowing: adding any WHERE can only shrink the result.
+func TestPropWhereNarrowing(t *testing.T) {
+	for _, e := range corpusExamples(t) {
+		g := e.Gold
+		if g.Where == nil || g.Compound != nil || len(g.GroupBy) > 0 || g.HasLimit {
+			continue
+		}
+		hasAgg := false
+		sqlir.WalkExprs(g, func(x sqlir.Expr) {
+			if a, ok := x.(*sqlir.Agg); ok && sqlir.AggFuncs[a.Fn] {
+				hasAgg = true
+			}
+		})
+		if hasAgg {
+			continue
+		}
+		wide := sqlir.Clone(g)
+		wide.Where = nil
+		wres, err := Exec(e.DB, wide)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nres, err := Exec(e.DB, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(nres.Rows) > len(wres.Rows) {
+			t.Errorf("WHERE grew the result: %d > %d for %s", len(nres.Rows), len(wres.Rows), e.GoldSQL)
+		}
+	}
+}
+
+// TestPropLimitBounds: LIMIT n yields at most n rows and is a prefix of the
+// unlimited ordered result.
+func TestPropLimitBounds(t *testing.T) {
+	for _, e := range corpusExamples(t) {
+		g := e.Gold
+		if !g.HasLimit || g.Compound != nil {
+			continue
+		}
+		res, err := Exec(e.DB, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) > g.Limit {
+			t.Errorf("LIMIT %d returned %d rows", g.Limit, len(res.Rows))
+		}
+		unlimited := sqlir.Clone(g)
+		unlimited.HasLimit, unlimited.Limit = false, -1
+		ures, err := Exec(e.DB, unlimited)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ures.Rows) < len(res.Rows) {
+			t.Errorf("unlimited result smaller than limited")
+		}
+	}
+}
+
+// TestPropDistinctDedups: SELECT DISTINCT output has no duplicate rows and
+// is never larger than the non-distinct projection.
+func TestPropDistinctDedups(t *testing.T) {
+	for _, e := range corpusExamples(t) {
+		g := e.Gold
+		if !g.Distinct || g.Compound != nil {
+			continue
+		}
+		res, err := Exec(e.DB, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := map[string]bool{}
+		for _, r := range res.Rows {
+			cells := make([]string, len(r))
+			for i, v := range r {
+				cells[i] = v.String()
+			}
+			k := fmt.Sprint(cells)
+			if seen[k] {
+				t.Errorf("DISTINCT output contains duplicate %s for %s", k, e.GoldSQL)
+				break
+			}
+			seen[k] = true
+		}
+	}
+}
+
+// TestPropCountConsistency: COUNT(*) equals the row count of the projection
+// without aggregation.
+func TestPropCountConsistency(t *testing.T) {
+	c := spider.GenerateSmall(123, 0.05)
+	for _, db := range c.Dev.Databases {
+		for _, tbl := range db.Tables {
+			cres, err := ExecSQL(db, "SELECT COUNT(*) FROM "+tbl.Name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pres, err := ExecSQL(db, "SELECT id FROM "+tbl.Name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if int(cres.Rows[0][0].Num) != len(pres.Rows) {
+				t.Errorf("%s.%s: COUNT(*)=%v but %d rows", db.Name, tbl.Name, cres.Rows[0][0], len(pres.Rows))
+			}
+		}
+	}
+}
+
+// TestPropJoinSubsetOfCross: an equi-join never yields more rows than the
+// cross product and never invents rows with mismatched keys.
+func TestPropJoinSubsetOfCross(t *testing.T) {
+	for _, e := range corpusExamples(t) {
+		g := e.Gold
+		if len(g.From.Joins) != 1 || g.Compound != nil || g.Where != nil || len(g.GroupBy) > 0 {
+			continue
+		}
+		res, err := Exec(e.DB, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lt := e.DB.Table(g.From.Base.Table)
+		rt := e.DB.Table(g.From.Joins[0].Table.Table)
+		if lt == nil || rt == nil {
+			continue
+		}
+		if len(res.Rows) > len(lt.Rows)*len(rt.Rows) {
+			t.Errorf("join exceeded cross product size for %s", e.GoldSQL)
+		}
+	}
+}

@@ -1,0 +1,265 @@
+package sqlir
+
+// Select is the root AST node for a (possibly compound) SELECT statement.
+// A compound statement chains a set operation to a right-hand Select.
+type Select struct {
+	Distinct bool
+	Items    []SelectItem
+	From     From
+	Where    Expr // nil when absent
+	GroupBy  []*ColumnRef
+	Having   Expr // nil when absent
+	OrderBy  []OrderItem
+	Limit    int // -1 when absent
+	HasLimit bool
+
+	// Compound, when non-nil, represents `<this> SetOp <Right>`.
+	Compound *Compound
+}
+
+// Compound is a set operation linking two SELECT statements.
+type Compound struct {
+	Op    string // "UNION", "INTERSECT", "EXCEPT"
+	All   bool   // UNION ALL
+	Right *Select
+}
+
+// SelectItem is one projection in the select list.
+type SelectItem struct {
+	Expr  Expr
+	Alias string // optional output alias (AS name)
+}
+
+// From is the FROM clause: a base table plus zero or more equi-joins.
+type From struct {
+	Base  TableRef
+	Joins []Join
+}
+
+// TableRef names a table with an optional alias.
+type TableRef struct {
+	Table string
+	Alias string // empty when none
+}
+
+// Name returns the name the table is referred to by in the rest of the query.
+func (t TableRef) Name() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Table
+}
+
+// Join is one `JOIN table ON left = right` arm.
+type Join struct {
+	Table TableRef
+	Left  *ColumnRef
+	Right *ColumnRef
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// Expr is any expression node.
+type Expr interface{ isExpr() }
+
+// ColumnRef references a column, optionally qualified by table or alias.
+type ColumnRef struct {
+	Table  string // alias or table name; empty when unqualified
+	Column string
+}
+
+// Star is `*` (only valid inside COUNT(*) or as the sole select item).
+type Star struct{}
+
+// Literal is a string or numeric constant.
+type Literal struct {
+	IsString bool
+	Str      string
+	Num      float64
+	Raw      string // numeric literals keep their original spelling
+}
+
+// Agg is an aggregate function application.
+type Agg struct {
+	Fn       string // COUNT, SUM, AVG, MIN, MAX (upper case)
+	Distinct bool
+	Args     []Expr // usually one arg; Star for COUNT(*)
+}
+
+// Binary is a binary operation: comparison (=, !=, <, <=, >, >=), logical
+// (AND, OR) or arithmetic (+, -, *, /).
+type Binary struct {
+	Op   string
+	L, R Expr
+}
+
+// Not negates a boolean expression.
+type Not struct{ E Expr }
+
+// Between is `expr [NOT] BETWEEN lo AND hi`.
+type Between struct {
+	E      Expr
+	Lo, Hi Expr
+	Negate bool
+}
+
+// Like is `expr [NOT] LIKE pattern`.
+type Like struct {
+	E       Expr
+	Pattern Expr
+	Negate  bool
+}
+
+// In is `expr [NOT] IN (subquery | value list)`.
+type In struct {
+	E      Expr
+	Sub    *Select // non-nil for subquery form
+	List   []Expr  // non-nil for value-list form
+	Negate bool
+}
+
+// Subquery wraps a scalar subquery used as an expression operand.
+type Subquery struct{ Sel *Select }
+
+// Exists is `EXISTS (subquery)`.
+type Exists struct {
+	Sub    *Select
+	Negate bool
+}
+
+// IsNull is `expr IS [NOT] NULL`.
+type IsNull struct {
+	E      Expr
+	Negate bool
+}
+
+func (*ColumnRef) isExpr() {}
+func (*Star) isExpr()      {}
+func (*Literal) isExpr()   {}
+func (*Agg) isExpr()       {}
+func (*Binary) isExpr()    {}
+func (*Not) isExpr()       {}
+func (*Between) isExpr()   {}
+func (*Like) isExpr()      {}
+func (*In) isExpr()        {}
+func (*Subquery) isExpr()  {}
+func (*Exists) isExpr()    {}
+func (*IsNull) isExpr()    {}
+
+// NewSelect returns a Select with Limit initialized to "absent".
+func NewSelect() *Select { return &Select{Limit: -1} }
+
+// WalkSelects calls fn on sel and every nested SELECT (compound right sides
+// and subqueries), in pre-order.
+func WalkSelects(sel *Select, fn func(*Select)) {
+	if sel == nil {
+		return
+	}
+	fn(sel)
+	var walkExpr func(Expr)
+	walkExpr = func(e Expr) {
+		switch v := e.(type) {
+		case *Binary:
+			walkExpr(v.L)
+			walkExpr(v.R)
+		case *Not:
+			walkExpr(v.E)
+		case *Between:
+			walkExpr(v.E)
+			walkExpr(v.Lo)
+			walkExpr(v.Hi)
+		case *Like:
+			walkExpr(v.E)
+			walkExpr(v.Pattern)
+		case *In:
+			walkExpr(v.E)
+			if v.Sub != nil {
+				WalkSelects(v.Sub, fn)
+			}
+			for _, it := range v.List {
+				walkExpr(it)
+			}
+		case *Subquery:
+			WalkSelects(v.Sel, fn)
+		case *Exists:
+			WalkSelects(v.Sub, fn)
+		case *IsNull:
+			walkExpr(v.E)
+		case *Agg:
+			for _, a := range v.Args {
+				walkExpr(a)
+			}
+		}
+	}
+	for _, it := range sel.Items {
+		walkExpr(it.Expr)
+	}
+	if sel.Where != nil {
+		walkExpr(sel.Where)
+	}
+	if sel.Having != nil {
+		walkExpr(sel.Having)
+	}
+	for _, o := range sel.OrderBy {
+		walkExpr(o.Expr)
+	}
+	if sel.Compound != nil {
+		WalkSelects(sel.Compound.Right, fn)
+	}
+}
+
+// WalkExprs calls fn on every expression in the select (not descending into
+// subqueries; use WalkSelects for that).
+func WalkExprs(sel *Select, fn func(Expr)) {
+	var walk func(Expr)
+	walk = func(e Expr) {
+		if e == nil {
+			return
+		}
+		fn(e)
+		switch v := e.(type) {
+		case *Binary:
+			walk(v.L)
+			walk(v.R)
+		case *Not:
+			walk(v.E)
+		case *Between:
+			walk(v.E)
+			walk(v.Lo)
+			walk(v.Hi)
+		case *Like:
+			walk(v.E)
+			walk(v.Pattern)
+		case *In:
+			walk(v.E)
+			for _, it := range v.List {
+				walk(it)
+			}
+		case *IsNull:
+			walk(v.E)
+		case *Agg:
+			for _, a := range v.Args {
+				walk(a)
+			}
+		}
+	}
+	for _, it := range sel.Items {
+		walk(it.Expr)
+	}
+	if sel.Where != nil {
+		walk(sel.Where)
+	}
+	for _, g := range sel.GroupBy {
+		walk(g)
+	}
+	if sel.Having != nil {
+		walk(sel.Having)
+	}
+	for _, o := range sel.OrderBy {
+		walk(o.Expr)
+	}
+}

@@ -1,0 +1,87 @@
+package sqlir
+
+// Clone deep-copies a Select AST. The simulated LLM and the adaption module
+// mutate candidate ASTs; cloning keeps gold queries immutable.
+func Clone(sel *Select) *Select {
+	if sel == nil {
+		return nil
+	}
+	ns := &Select{
+		Distinct: sel.Distinct,
+		Limit:    sel.Limit,
+		HasLimit: sel.HasLimit,
+	}
+	for _, it := range sel.Items {
+		ns.Items = append(ns.Items, SelectItem{Expr: CloneExpr(it.Expr), Alias: it.Alias})
+	}
+	ns.From = From{Base: sel.From.Base}
+	for _, j := range sel.From.Joins {
+		ns.From.Joins = append(ns.From.Joins, Join{
+			Table: j.Table,
+			Left:  cloneColRef(j.Left),
+			Right: cloneColRef(j.Right),
+		})
+	}
+	ns.Where = CloneExpr(sel.Where)
+	for _, g := range sel.GroupBy {
+		ns.GroupBy = append(ns.GroupBy, cloneColRef(g))
+	}
+	ns.Having = CloneExpr(sel.Having)
+	for _, o := range sel.OrderBy {
+		ns.OrderBy = append(ns.OrderBy, OrderItem{Expr: CloneExpr(o.Expr), Desc: o.Desc})
+	}
+	if sel.Compound != nil {
+		ns.Compound = &Compound{Op: sel.Compound.Op, All: sel.Compound.All, Right: Clone(sel.Compound.Right)}
+	}
+	return ns
+}
+
+func cloneColRef(c *ColumnRef) *ColumnRef {
+	if c == nil {
+		return nil
+	}
+	cp := *c
+	return &cp
+}
+
+// CloneExpr deep-copies an expression tree.
+func CloneExpr(e Expr) Expr {
+	switch v := e.(type) {
+	case nil:
+		return nil
+	case *ColumnRef:
+		return cloneColRef(v)
+	case *Star:
+		return &Star{}
+	case *Literal:
+		cp := *v
+		return &cp
+	case *Agg:
+		na := &Agg{Fn: v.Fn, Distinct: v.Distinct}
+		for _, a := range v.Args {
+			na.Args = append(na.Args, CloneExpr(a))
+		}
+		return na
+	case *Binary:
+		return &Binary{Op: v.Op, L: CloneExpr(v.L), R: CloneExpr(v.R)}
+	case *Not:
+		return &Not{E: CloneExpr(v.E)}
+	case *Between:
+		return &Between{E: CloneExpr(v.E), Lo: CloneExpr(v.Lo), Hi: CloneExpr(v.Hi), Negate: v.Negate}
+	case *Like:
+		return &Like{E: CloneExpr(v.E), Pattern: CloneExpr(v.Pattern), Negate: v.Negate}
+	case *In:
+		ni := &In{E: CloneExpr(v.E), Negate: v.Negate, Sub: Clone(v.Sub)}
+		for _, it := range v.List {
+			ni.List = append(ni.List, CloneExpr(it))
+		}
+		return ni
+	case *Subquery:
+		return &Subquery{Sel: Clone(v.Sel)}
+	case *Exists:
+		return &Exists{Sub: Clone(v.Sub), Negate: v.Negate}
+	case *IsNull:
+		return &IsNull{E: CloneExpr(v.E), Negate: v.Negate}
+	}
+	return e
+}

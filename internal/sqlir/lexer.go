@@ -1,0 +1,122 @@
+package sqlir
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Lex tokenizes a SQL string into tokens. It returns an error for characters
+// outside the subset grammar or unterminated string literals.
+func Lex(input string) ([]Token, error) {
+	var toks []Token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(':
+			toks = append(toks, Token{TokLParen, "(", i})
+			i++
+		case c == ')':
+			toks = append(toks, Token{TokRParen, ")", i})
+			i++
+		case c == ',':
+			toks = append(toks, Token{TokComma, ",", i})
+			i++
+		case c == ';':
+			toks = append(toks, Token{TokSemi, ";", i})
+			i++
+		case c == '.':
+			toks = append(toks, Token{TokDot, ".", i})
+			i++
+		case c == '*':
+			toks = append(toks, Token{TokStar, "*", i})
+			i++
+		case c == '+' || c == '-' || c == '/':
+			toks = append(toks, Token{TokOp, string(c), i})
+			i++
+		case c == '=':
+			toks = append(toks, Token{TokOp, "=", i})
+			i++
+		case c == '<':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, Token{TokOp, "<=", i})
+				i += 2
+			} else if i+1 < n && input[i+1] == '>' {
+				toks = append(toks, Token{TokOp, "!=", i})
+				i += 2
+			} else {
+				toks = append(toks, Token{TokOp, "<", i})
+				i++
+			}
+		case c == '>':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, Token{TokOp, ">=", i})
+				i += 2
+			} else {
+				toks = append(toks, Token{TokOp, ">", i})
+				i++
+			}
+		case c == '!':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, Token{TokOp, "!=", i})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("sqlir: unexpected '!' at offset %d", i)
+			}
+		case c == '\'' || c == '"':
+			quote := c
+			j := i + 1
+			var sb strings.Builder
+			for j < n && input[j] != quote {
+				sb.WriteByte(input[j])
+				j++
+			}
+			if j >= n {
+				return nil, fmt.Errorf("sqlir: unterminated string at offset %d", i)
+			}
+			toks = append(toks, Token{TokString, sb.String(), i})
+			i = j + 1
+		case c >= '0' && c <= '9':
+			j := i
+			seenDot := false
+			for j < n && (isDigit(input[j]) || (input[j] == '.' && !seenDot && j+1 < n && isDigit(input[j+1]))) {
+				if input[j] == '.' {
+					seenDot = true
+				}
+				j++
+			}
+			toks = append(toks, Token{TokNumber, input[i:j], i})
+			i = j
+		case isIdentStart(rune(c)):
+			j := i
+			for j < n && isIdentPart(rune(input[j])) {
+				j++
+			}
+			word := input[i:j]
+			if IsKeyword(word) {
+				toks = append(toks, Token{TokKeyword, strings.ToUpper(word), i})
+			} else {
+				toks = append(toks, Token{TokIdent, word, i})
+			}
+			i = j
+		default:
+			return nil, fmt.Errorf("sqlir: unexpected character %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, Token{TokEOF, "", n})
+	return toks, nil
+}
+
+func isDigit(b byte) bool { return b >= '0' && b <= '9' }
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

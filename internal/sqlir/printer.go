@@ -1,0 +1,224 @@
+package sqlir
+
+import (
+	"strconv"
+	"strings"
+)
+
+// emitKind classifies emitted tokens so both the printer and the
+// skeletonizer can share one AST walk.
+type emitKind int
+
+const (
+	emitKeyword emitKind = iota // SQL keywords and operators
+	emitName                    // table/column/alias identifiers
+	emitValue                   // literals
+	emitPunct                   // parens and commas
+)
+
+type emitter func(kind emitKind, text string)
+
+// String renders the Select as canonical SQL text.
+func String(sel *Select) string {
+	var parts []string
+	emitSelect(sel, func(kind emitKind, text string) {
+		parts = append(parts, text)
+	})
+	return joinSQL(parts)
+}
+
+// joinSQL joins tokens with spaces, tightening punctuation the way the
+// paper's examples render SQL.
+func joinSQL(parts []string) string {
+	var sb strings.Builder
+	for i, p := range parts {
+		if i > 0 {
+			prev := parts[i-1]
+			if p == "," || p == ")" || strings.HasSuffix(prev, "(") || p == "." || prev == "." {
+				// no space
+			} else {
+				sb.WriteByte(' ')
+			}
+		}
+		sb.WriteString(p)
+	}
+	return sb.String()
+}
+
+func emitSelect(sel *Select, emit emitter) {
+	emit(emitKeyword, "SELECT")
+	if sel.Distinct {
+		emit(emitKeyword, "DISTINCT")
+	}
+	for i, it := range sel.Items {
+		if i > 0 {
+			emit(emitPunct, ",")
+		}
+		emitExpr(it.Expr, emit)
+		if it.Alias != "" {
+			emit(emitKeyword, "AS")
+			emit(emitName, it.Alias)
+		}
+	}
+	emit(emitKeyword, "FROM")
+	emitTableRef(sel.From.Base, emit)
+	for _, j := range sel.From.Joins {
+		emit(emitKeyword, "JOIN")
+		emitTableRef(j.Table, emit)
+		emit(emitKeyword, "ON")
+		emitExpr(j.Left, emit)
+		emit(emitKeyword, "=")
+		emitExpr(j.Right, emit)
+	}
+	if sel.Where != nil {
+		emit(emitKeyword, "WHERE")
+		emitExpr(sel.Where, emit)
+	}
+	if len(sel.GroupBy) > 0 {
+		emit(emitKeyword, "GROUP BY")
+		for i, g := range sel.GroupBy {
+			if i > 0 {
+				emit(emitPunct, ",")
+			}
+			emitExpr(g, emit)
+		}
+		if sel.Having != nil {
+			emit(emitKeyword, "HAVING")
+			emitExpr(sel.Having, emit)
+		}
+	}
+	if len(sel.OrderBy) > 0 {
+		emit(emitKeyword, "ORDER BY")
+		for i, o := range sel.OrderBy {
+			if i > 0 {
+				emit(emitPunct, ",")
+			}
+			emitExpr(o.Expr, emit)
+			if o.Desc {
+				emit(emitKeyword, "DESC")
+			} else {
+				emit(emitKeyword, "ASC")
+			}
+		}
+	}
+	if sel.HasLimit {
+		emit(emitKeyword, "LIMIT")
+		emit(emitValue, strconv.Itoa(sel.Limit))
+	}
+	if sel.Compound != nil {
+		op := sel.Compound.Op
+		if sel.Compound.All {
+			op += " ALL"
+		}
+		emit(emitKeyword, op)
+		emitSelect(sel.Compound.Right, emit)
+	}
+}
+
+func emitTableRef(t TableRef, emit emitter) {
+	emit(emitName, t.Table)
+	if t.Alias != "" {
+		emit(emitKeyword, "AS")
+		emit(emitName, t.Alias)
+	}
+}
+
+func emitExpr(e Expr, emit emitter) {
+	switch v := e.(type) {
+	case *ColumnRef:
+		if v.Table != "" {
+			emit(emitName, v.Table)
+			emit(emitPunct, ".")
+		}
+		if v.Column == "*" {
+			emit(emitKeyword, "*")
+		} else {
+			emit(emitName, v.Column)
+		}
+	case *Star:
+		emit(emitKeyword, "*")
+	case *Literal:
+		if v.IsString {
+			emit(emitValue, "'"+v.Str+"'")
+		} else if v.Raw != "" {
+			emit(emitValue, v.Raw)
+		} else {
+			emit(emitValue, strconv.FormatFloat(v.Num, 'g', -1, 64))
+		}
+	case *Agg:
+		emit(emitKeyword, v.Fn+"(")
+		if v.Distinct {
+			emit(emitKeyword, "DISTINCT")
+		}
+		for i, a := range v.Args {
+			if i > 0 {
+				emit(emitPunct, ",")
+			}
+			emitExpr(a, emit)
+		}
+		emit(emitPunct, ")")
+	case *Binary:
+		emitExpr(v.L, emit)
+		emit(emitKeyword, v.Op)
+		emitExpr(v.R, emit)
+	case *Not:
+		emit(emitKeyword, "NOT")
+		emitExpr(v.E, emit)
+	case *Between:
+		emitExpr(v.E, emit)
+		if v.Negate {
+			emit(emitKeyword, "NOT BETWEEN")
+		} else {
+			emit(emitKeyword, "BETWEEN")
+		}
+		emitExpr(v.Lo, emit)
+		emit(emitKeyword, "AND")
+		emitExpr(v.Hi, emit)
+	case *Like:
+		emitExpr(v.E, emit)
+		if v.Negate {
+			emit(emitKeyword, "NOT LIKE")
+		} else {
+			emit(emitKeyword, "LIKE")
+		}
+		emitExpr(v.Pattern, emit)
+	case *In:
+		emitExpr(v.E, emit)
+		if v.Negate {
+			emit(emitKeyword, "NOT IN")
+		} else {
+			emit(emitKeyword, "IN")
+		}
+		emit(emitPunct, "(")
+		if v.Sub != nil {
+			emitSelect(v.Sub, emit)
+		} else {
+			for i, it := range v.List {
+				if i > 0 {
+					emit(emitPunct, ",")
+				}
+				emitExpr(it, emit)
+			}
+		}
+		emit(emitPunct, ")")
+	case *Subquery:
+		emit(emitPunct, "(")
+		emitSelect(v.Sel, emit)
+		emit(emitPunct, ")")
+	case *Exists:
+		if v.Negate {
+			emit(emitKeyword, "NOT")
+		}
+		emit(emitKeyword, "EXISTS")
+		emit(emitPunct, "(")
+		emitSelect(v.Sub, emit)
+		emit(emitPunct, ")")
+	case *IsNull:
+		emitExpr(v.E, emit)
+		if v.Negate {
+			emit(emitKeyword, "IS NOT NULL")
+		} else {
+			emit(emitKeyword, "IS NULL")
+		}
+	}
+}

@@ -1,0 +1,58 @@
+// Package sqlir provides the SQL intermediate representation shared by every
+// module in this repository: a lexer, a recursive-descent parser for the
+// Spider-style SQL subset, an AST, a canonical printer, and skeleton
+// extraction (SQL with all database-specific tokens masked, Section II-C of
+// the PURPLE paper).
+package sqlir
+
+import "strings"
+
+// TokenKind classifies lexical tokens.
+type TokenKind int
+
+// Token kinds produced by the lexer.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokKeyword
+	TokNumber
+	TokString
+	TokOp // comparison and arithmetic operators
+	TokLParen
+	TokRParen
+	TokComma
+	TokDot
+	TokStar
+	TokSemi
+)
+
+// Token is a single lexical token with its original text.
+type Token struct {
+	Kind TokenKind
+	Text string // keywords are upper-cased, identifiers keep original case
+	Pos  int    // byte offset in the input
+}
+
+// keywords recognized by the lexer. Multi-word operators (NOT IN, GROUP BY)
+// are assembled by the parser from single-word keywords.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "LIMIT": true, "ASC": true, "DESC": true,
+	"JOIN": true, "ON": true, "AS": true, "AND": true, "OR": true, "NOT": true,
+	"IN": true, "BETWEEN": true, "LIKE": true, "IS": true, "NULL": true,
+	"DISTINCT": true, "UNION": true, "INTERSECT": true, "EXCEPT": true,
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+	"ALL": true, "EXISTS": true, "INNER": true, "LEFT": true, "OUTER": true,
+}
+
+// IsKeyword reports whether s (case-insensitive) is a reserved SQL keyword in
+// the subset grammar.
+func IsKeyword(s string) bool {
+	return keywords[strings.ToUpper(s)]
+}
+
+// AggFuncs is the set of aggregate function names in the subset, mirroring
+// the paper's <AGG> Structure-Level class (Figure 7).
+var AggFuncs = map[string]bool{
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+}

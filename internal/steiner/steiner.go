@@ -1,0 +1,114 @@
+// Package steiner solves the small Steiner-tree instances arising in
+// PURPLE's schema pruning (Section IV-A): given the foreign-key graph over a
+// database's tables and the terminal set of classifier-selected tables, find
+// the smallest connected subgraph containing all terminals. Database schemas
+// are small, so the paper's "burst search" is an exact search over
+// non-terminal subsets by increasing size.
+package steiner
+
+import (
+	"sort"
+	"strings"
+)
+
+// Tree returns the node set of a minimum connected subgraph of adj containing
+// every terminal. Node names are matched case-insensitively. When the
+// terminals cannot be connected (the graph is disconnected), the terminals
+// are returned as-is, mirroring the paper's fallback of keeping classifier
+// picks even without connectivity.
+func Tree(adj map[string]map[string]bool, terminals []string) []string {
+	terms := normalize(terminals)
+	if len(terms) <= 1 {
+		return terms
+	}
+	if connected(adj, terms) {
+		return terms
+	}
+	var others []string
+	inTerm := map[string]bool{}
+	for _, t := range terms {
+		inTerm[t] = true
+	}
+	for n := range adj {
+		if !inTerm[n] {
+			others = append(others, n)
+		}
+	}
+	sort.Strings(others)
+	// Exact search: try adding k = 1, 2, ... extra nodes.
+	for k := 1; k <= len(others); k++ {
+		if sol := search(adj, terms, others, k); sol != nil {
+			return sol
+		}
+	}
+	return terms
+}
+
+// search tries every k-subset of others (lexicographic) and returns the
+// first that connects the terminals.
+func search(adj map[string]map[string]bool, terms, others []string, k int) []string {
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	for {
+		cand := append([]string(nil), terms...)
+		for _, i := range idx {
+			cand = append(cand, others[i])
+		}
+		if connected(adj, cand) {
+			sort.Strings(cand)
+			return cand
+		}
+		// next combination
+		i := k - 1
+		for i >= 0 && idx[i] == len(others)-k+i {
+			i--
+		}
+		if i < 0 {
+			return nil
+		}
+		idx[i]++
+		for j := i + 1; j < k; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+}
+
+// connected reports whether the induced subgraph over nodes is connected.
+func connected(adj map[string]map[string]bool, nodes []string) bool {
+	if len(nodes) == 0 {
+		return true
+	}
+	in := map[string]bool{}
+	for _, n := range nodes {
+		in[n] = true
+	}
+	visited := map[string]bool{nodes[0]: true}
+	queue := []string{nodes[0]}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for nb := range adj[cur] {
+			if in[nb] && !visited[nb] {
+				visited[nb] = true
+				queue = append(queue, nb)
+			}
+		}
+	}
+	return len(visited) == len(nodes)
+}
+
+func normalize(names []string) []string {
+	out := make([]string, 0, len(names))
+	seen := map[string]bool{}
+	for _, n := range names {
+		l := strings.ToLower(n)
+		if !seen[l] {
+			seen[l] = true
+			out = append(out, l)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

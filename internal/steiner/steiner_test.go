@@ -1,0 +1,131 @@
+package steiner
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func graph(edges [][2]string) map[string]map[string]bool {
+	adj := map[string]map[string]bool{}
+	add := func(a, b string) {
+		if adj[a] == nil {
+			adj[a] = map[string]bool{}
+		}
+		adj[a][b] = true
+	}
+	for _, e := range edges {
+		add(e[0], e[1])
+		add(e[1], e[0])
+	}
+	return adj
+}
+
+func TestSingleTerminal(t *testing.T) {
+	adj := graph([][2]string{{"a", "b"}})
+	if got := Tree(adj, []string{"A"}); !reflect.DeepEqual(got, []string{"a"}) {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestAlreadyConnected(t *testing.T) {
+	adj := graph([][2]string{{"a", "b"}, {"b", "c"}})
+	got := Tree(adj, []string{"a", "b"})
+	if !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestAddsBridgeNode(t *testing.T) {
+	// a - bridge - c: terminals a,c need the bridge.
+	adj := graph([][2]string{{"a", "bridge"}, {"bridge", "c"}})
+	got := Tree(adj, []string{"a", "c"})
+	want := []string{"a", "bridge", "c"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v want %v", got, want)
+	}
+}
+
+func TestPicksMinimalBridge(t *testing.T) {
+	// Two paths from a to d: via b (1 hop) or via x,y (2 hops).
+	adj := graph([][2]string{
+		{"a", "b"}, {"b", "d"},
+		{"a", "x"}, {"x", "y"}, {"y", "d"},
+	})
+	got := Tree(adj, []string{"a", "d"})
+	if len(got) != 3 {
+		t.Errorf("not minimal: %v", got)
+	}
+}
+
+func TestDisconnectedFallsBackToTerminals(t *testing.T) {
+	adj := graph([][2]string{{"a", "b"}, {"c", "d"}})
+	got := Tree(adj, []string{"a", "c"})
+	want := []string{"a", "c"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v want %v", got, want)
+	}
+}
+
+func TestStarSchema(t *testing.T) {
+	// hub connects three leaves; terminals = all leaves.
+	adj := graph([][2]string{{"hub", "l1"}, {"hub", "l2"}, {"hub", "l3"}})
+	got := Tree(adj, []string{"l1", "l2", "l3"})
+	want := []string{"hub", "l1", "l2", "l3"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v want %v", got, want)
+	}
+}
+
+// Property: the result always contains every terminal, and when the graph
+// connects them at all, the induced subgraph over the result is connected.
+func TestQuickTreeInvariants(t *testing.T) {
+	nodes := []string{"a", "b", "c", "d", "e"}
+	f := func(edgeBits uint16, termBits uint8) bool {
+		var edges [][2]string
+		bit := 0
+		for i := 0; i < len(nodes); i++ {
+			for j := i + 1; j < len(nodes); j++ {
+				if edgeBits&(1<<bit) != 0 {
+					edges = append(edges, [2]string{nodes[i], nodes[j]})
+				}
+				bit++
+			}
+		}
+		adj := graph(edges)
+		for _, n := range nodes {
+			if adj[n] == nil {
+				adj[n] = map[string]bool{}
+			}
+		}
+		var terms []string
+		for i, n := range nodes {
+			if termBits&(1<<i) != 0 {
+				terms = append(terms, n)
+			}
+		}
+		if len(terms) == 0 {
+			return true
+		}
+		got := Tree(adj, terms)
+		inGot := map[string]bool{}
+		for _, g := range got {
+			inGot[g] = true
+		}
+		for _, tm := range terms {
+			if !inGot[tm] {
+				return false
+			}
+		}
+		if connected(adj, terms) {
+			sorted := append([]string(nil), terms...)
+			sort.Strings(sorted)
+			return reflect.DeepEqual(got, sorted)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
