@@ -4,7 +4,7 @@
 // Usage:
 //
 //	benchmarks -exp table4 -scale 0.2 -limit 200
-//	benchmarks -exp all
+//	benchmarks -exp all -workers 8
 package main
 
 import (
@@ -18,10 +18,11 @@ import (
 
 func main() {
 	var (
-		which = flag.String("exp", "all", "experiment: table1|table3|table4|table5|table6|fig9|fig10|fig11|fig12|all")
-		scale = flag.Float64("scale", 0.15, "corpus scale in (0,1]; 1.0 = the paper's full Table 3 sizes")
-		limit = flag.Int("limit", 0, "cap evaluated examples per run (0 = all)")
-		seed  = flag.Int64("seed", 1, "corpus and pipeline seed")
+		which   = flag.String("exp", "all", "experiment: table1|table3|table4|table5|table6|fig9|fig10|fig11|fig12|all")
+		scale   = flag.Float64("scale", 0.15, "corpus scale in (0,1]; 1.0 = the paper's full Table 3 sizes")
+		limit   = flag.Int("limit", 0, "cap evaluated examples per run (0 = all)")
+		seed    = flag.Int64("seed", 1, "corpus and pipeline seed")
+		workers = flag.Int("workers", 1, "translation worker pool size (>1 parallelizes; output is identical to -workers 1)")
 	)
 	flag.Parse()
 
@@ -30,7 +31,7 @@ func main() {
 	env := exp.NewEnv(*seed, *scale)
 	fmt.Fprintf(os.Stderr, "environment ready in %v\n\n", time.Since(start).Round(time.Millisecond))
 
-	opts := exp.RunOptions{Limit: *limit}
+	opts := exp.RunOptions{Limit: *limit, Workers: *workers}
 	run := func(name string, fn func() string) {
 		if *which != "all" && *which != name {
 			return

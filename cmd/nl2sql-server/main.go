@@ -1,8 +1,10 @@
 // Command nl2sql-server serves the PURPLE pipeline over HTTP.
 //
-//	nl2sql-server -addr :8080 -scale 0.1
+//	nl2sql-server -addr :8080 -scale 0.1 -workers 8
 //	curl localhost:8080/databases
 //	curl -X POST localhost:8080/translate -d '{"task_id": 3}'
+//	curl -X POST localhost:8080/v1/batch -d '{"task_ids": [0,1,2,3], "workers": 4}'
+//	curl localhost:8080/v1/stats
 //	curl -X POST localhost:8080/execute -d '{"database":"tv","sql":"SELECT COUNT(*) FROM cartoon"}'
 package main
 
@@ -20,22 +22,32 @@ import (
 
 func main() {
 	var (
-		addr  = flag.String("addr", ":8080", "listen address")
-		scale = flag.Float64("scale", 0.1, "corpus scale")
-		seed  = flag.Int64("seed", 1, "corpus seed")
+		addr     = flag.String("addr", ":8080", "listen address")
+		scale    = flag.Float64("scale", 0.1, "corpus scale")
+		seed     = flag.Int64("seed", 1, "corpus seed")
+		workers  = flag.Int("workers", 4, "default /v1/batch worker-pool size")
+		cacheCap = flag.Int("cache", 4096, "LLM response cache capacity in entries (0 disables)")
 	)
 	flag.Parse()
 
 	start := time.Now()
 	log.Printf("generating corpus (scale=%.2f) and training pipeline...", *scale)
 	corpus := spider.GenerateSmall(*seed, *scale)
-	pipeline := core.New(corpus.Train.Examples, llm.NewSim(llm.ChatGPT), core.DefaultConfig())
+	var client llm.Client = llm.NewSim(llm.ChatGPT)
+	var opts []service.Option
+	if *cacheCap > 0 {
+		cache := llm.NewCache(client, *cacheCap)
+		client = cache
+		opts = append(opts, service.WithCache(cache))
+	}
+	opts = append(opts, service.WithWorkers(*workers))
+	pipeline := core.New(corpus.Train.Examples, client, core.DefaultConfig())
 	log.Printf("ready in %v; %d dev tasks over %d databases",
 		time.Since(start).Round(time.Millisecond), len(corpus.Dev.Examples), len(corpus.Dev.Databases))
 
 	srv := &http.Server{
 		Addr:         *addr,
-		Handler:      service.New(pipeline, corpus).Handler(),
+		Handler:      service.New(pipeline, corpus, opts...).Handler(),
 		ReadTimeout:  30 * time.Second,
 		WriteTimeout: 120 * time.Second,
 	}

@@ -60,12 +60,15 @@ func Prune(m *Model, nl string, db *schema.Database, cfg PruneConfig) PruneResul
 		for _, t := range kept {
 			inKept[t] = true
 		}
+		// Tie-break equal scores lexicographically: map iteration order must
+		// not leak into the pruned schema (prompts, and therefore token
+		// accounting, are compared byte-for-byte across runs).
 		bestName, bestScore := "", -1.0
 		for t, s := range tScores {
 			if s > cfg.TauP || inKept[t] {
 				continue
 			}
-			if s > bestScore {
+			if s > bestScore || (s == bestScore && t < bestName) {
 				hasEdge := false
 				for nb := range adj[t] {
 					if inKept[nb] {

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"repro/internal/spider"
+)
+
+// Engine fans a batch of NL2SQL tasks across a bounded worker pool. The
+// PURPLE pipeline is deterministic per example (all randomness is derived
+// from the config seed and the example ID) and its trained substrate models
+// are read-only after construction, so a parallel batch produces exactly the
+// translations the sequential loop would — in the same order — while the
+// wall-clock cost drops to roughly 1/workers.
+type Engine struct {
+	tr      Translator
+	workers int
+}
+
+// NewEngine builds an engine over any Translator. workers <= 0 selects
+// GOMAXPROCS.
+func NewEngine(tr Translator, workers int) *Engine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{tr: tr, workers: workers}
+}
+
+// Workers reports the pool size.
+func (g *Engine) Workers() int { return g.workers }
+
+// BatchStats aggregates accounting over the completed portion of a batch.
+type BatchStats struct {
+	// Completed is how many examples were translated (== len(input) unless
+	// the context was cancelled mid-batch).
+	Completed    int
+	InputTokens  int
+	OutputTokens int
+	DemosUsed    int
+}
+
+// TranslateBatch translates every example, preserving input order: out[i]
+// is the translation of examples[i]. On context cancellation it stops
+// dispatching, waits for in-flight workers, and returns the partial results
+// (untranslated slots are zero Translations, and stats count only completed
+// slots) along with ctx.Err().
+func (g *Engine) TranslateBatch(ctx context.Context, examples []*spider.Example) ([]Translation, BatchStats, error) {
+	out := make([]Translation, len(examples))
+	done := make([]bool, len(examples))
+	jobs := make(chan int)
+
+	var wg sync.WaitGroup
+	workers := g.workers
+	if workers > len(examples) && len(examples) > 0 {
+		workers = len(examples)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				out[i] = g.tr.Translate(examples[i])
+				done[i] = true
+			}
+		}()
+	}
+
+	var err error
+dispatch:
+	for i := range examples {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			err = ctx.Err()
+			break dispatch
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	var stats BatchStats
+	for i, t := range out {
+		if !done[i] {
+			continue
+		}
+		stats.Completed++
+		stats.InputTokens += t.InputTokens
+		stats.OutputTokens += t.OutputTokens
+		stats.DemosUsed += t.DemosUsed
+	}
+	return out, stats, err
+}

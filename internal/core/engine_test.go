@@ -1,0 +1,113 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/llm"
+	"repro/internal/spider"
+)
+
+// TestBatchMatchesSequential is the engine's core guarantee: a parallel
+// batch yields exactly the translations the sequential loop produces, in
+// input order, at every worker count. Run with -race to also exercise the
+// pool for data races.
+func TestBatchMatchesSequential(t *testing.T) {
+	p, c := pipelineFixture(t, DefaultConfig())
+	dev := c.Dev.Examples
+	if len(dev) > 40 {
+		dev = dev[:40]
+	}
+	want := make([]Translation, len(dev))
+	for i, e := range dev {
+		want[i] = p.Translate(e)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		got, stats, err := NewEngine(p, workers).TranslateBatch(context.Background(), dev)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: batch translations differ from sequential", workers)
+		}
+		if stats.Completed != len(dev) {
+			t.Errorf("workers=%d: completed %d of %d", workers, stats.Completed, len(dev))
+		}
+		var inTok, demos int
+		for _, tr := range want {
+			inTok += tr.InputTokens
+			demos += tr.DemosUsed
+		}
+		if stats.InputTokens != inTok || stats.DemosUsed != demos {
+			t.Errorf("workers=%d: stats %+v disagree with per-item sums (tok=%d demos=%d)",
+				workers, stats, inTok, demos)
+		}
+	}
+}
+
+// TestBatchWithCachedClientMatchesSequential runs the parallel batch through
+// a cache-wrapped client: concurrency plus memoization must still reproduce
+// the uncached sequential translations byte for byte.
+func TestBatchWithCachedClientMatchesSequential(t *testing.T) {
+	c := spider.GenerateSmall(77, 0.06)
+	plain := New(c.Train.Examples, llm.NewSim(llm.ChatGPT), DefaultConfig())
+	cache := llm.NewCache(llm.NewSim(llm.ChatGPT), 1024)
+	cached := New(c.Train.Examples, cache, DefaultConfig())
+	dev := c.Dev.Examples
+	if len(dev) > 30 {
+		dev = dev[:30]
+	}
+	want := make([]Translation, len(dev))
+	for i, e := range dev {
+		want[i] = plain.Translate(e)
+	}
+	for run := 0; run < 2; run++ {
+		got, _, err := NewEngine(cached, 8).TranslateBatch(context.Background(), dev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("run %d: cached parallel batch differs from uncached sequential", run)
+		}
+	}
+	st := cache.Stats()
+	if st.Hits == 0 {
+		t.Errorf("second identical run should hit the cache: %+v", st)
+	}
+}
+
+func TestBatchContextCancellation(t *testing.T) {
+	p, c := pipelineFixture(t, DefaultConfig())
+	dev := c.Dev.Examples
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before dispatch: nothing should run
+	out, stats, err := NewEngine(p, 4).TranslateBatch(ctx, dev)
+	if err != context.Canceled {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if len(out) != len(dev) {
+		t.Fatalf("want full-length result slice, got %d", len(out))
+	}
+	if stats.Completed >= len(dev) {
+		t.Errorf("cancelled batch should not complete all %d examples", len(dev))
+	}
+}
+
+func TestBatchEmptyInput(t *testing.T) {
+	p, _ := pipelineFixture(t, DefaultConfig())
+	out, stats, err := NewEngine(p, 4).TranslateBatch(context.Background(), nil)
+	if err != nil || len(out) != 0 || stats.Completed != 0 {
+		t.Errorf("empty batch: out=%v stats=%+v err=%v", out, stats, err)
+	}
+}
+
+func TestEngineDefaultWorkers(t *testing.T) {
+	p, _ := pipelineFixture(t, DefaultConfig())
+	if w := NewEngine(p, 0).Workers(); w < 1 {
+		t.Errorf("default worker count %d < 1", w)
+	}
+	if w := NewEngine(p, 3).Workers(); w != 3 {
+		t.Errorf("explicit worker count not respected: %d", w)
+	}
+}

@@ -5,6 +5,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -101,13 +102,29 @@ type RunOptions struct {
 	Limit int
 	// WithTS enables the (costlier) test-suite metric.
 	WithTS bool
+	// Workers parallelizes translation across a core.Engine pool when > 1.
+	// The pipeline is deterministic per example, so the scores are identical
+	// to the sequential path regardless of the worker count.
+	Workers int
 }
 
-// Run evaluates a translator over a benchmark split.
+// Run evaluates a translator over a benchmark split. Translation runs first
+// (sequentially, or across opts.Workers pool goroutines); the metric pass is
+// always sequential and in input order, so parallel and sequential runs
+// produce byte-identical output.
 func (env *Env) Run(tr core.Translator, b *spider.Benchmark, opts RunOptions) Scores {
 	examples := b.Examples
 	if opts.Limit > 0 && opts.Limit < len(examples) {
 		examples = examples[:opts.Limit]
+	}
+	var results []core.Translation
+	if opts.Workers > 1 {
+		results, _, _ = core.NewEngine(tr, opts.Workers).TranslateBatch(context.Background(), examples)
+	} else {
+		results = make([]core.Translation, len(examples))
+		for i, e := range examples {
+			results[i] = tr.Translate(e)
+		}
 	}
 	s := Scores{Strategy: tr.Name(), N: len(examples), ByHardness: map[string][2]float64{}}
 	hardCount := map[string]int{}
@@ -115,8 +132,8 @@ func (env *Env) Run(tr core.Translator, b *spider.Benchmark, opts RunOptions) Sc
 	hardEX := map[string]int{}
 	var em, ex, ts int
 	var inTok, outTok int
-	for _, e := range examples {
-		res := tr.Translate(e)
+	for i, e := range examples {
+		res := results[i]
 		inTok += res.InputTokens
 		outTok += res.OutputTokens
 		okEM := eval.ExactSetMatchSQL(res.SQL, e.GoldSQL)
@@ -167,7 +184,13 @@ func (env *Env) Purple(tier llm.Tier) *core.Pipeline {
 // PurpleWith builds PURPLE with a custom config, reusing the environment's
 // trained substrate models.
 func (env *Env) PurpleWith(tier llm.Tier, cfg core.Config) *core.Pipeline {
-	return core.NewWithModels(env.Corpus.Train.Examples, llm.NewSim(tier), cfg, env.Clf, env.Pred)
+	return env.PurpleWithClient(llm.NewSim(tier), cfg)
+}
+
+// PurpleWithClient builds PURPLE around an arbitrary LLM client — e.g. a
+// llm.Cache-wrapped Sim — reusing the environment's trained substrate models.
+func (env *Env) PurpleWithClient(client llm.Client, cfg core.Config) *core.Pipeline {
+	return core.NewWithModels(env.Corpus.Train.Examples, client, cfg, env.Clf, env.Pred)
 }
 
 // ChatGPTSQL builds the zero-shot baseline.

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -78,5 +79,20 @@ func TestFormatTableAlignment(t *testing.T) {
 	}
 	if len(lines[1]) != len(lines[2]) {
 		t.Errorf("columns misaligned:\n%s", out)
+	}
+}
+
+// TestRunParallelMatchesSequential asserts the -workers evaluation mode
+// reproduces the sequential scores exactly — table output must be
+// byte-identical regardless of worker count.
+func TestRunParallelMatchesSequential(t *testing.T) {
+	env := NewEnv(3, 0.05)
+	tr := env.Purple(llm.ChatGPT)
+	seq := env.Run(tr, env.Corpus.Dev, RunOptions{Limit: 30})
+	for _, w := range []int{2, 8} {
+		par := env.Run(tr, env.Corpus.Dev, RunOptions{Limit: 30, Workers: w})
+		if !reflect.DeepEqual(seq, par) {
+			t.Errorf("workers=%d scores differ:\nseq: %+v\npar: %+v", w, seq, par)
+		}
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"repro/internal/classifier"
 	"repro/internal/core"
 	"repro/internal/eval"
+	"repro/internal/llm"
 	"repro/internal/spider"
 	"repro/internal/sqlexec"
 )
@@ -23,14 +24,29 @@ type Server struct {
 	pipeline *core.Pipeline
 	corpus   *spider.Corpus
 	byDB     map[string][]*spider.Example
+	cache    *llm.Cache
+	workers  int
 }
 
+// Option configures optional server features.
+type Option func(*Server)
+
+// WithCache exposes an LLM cache's counters on /v1/stats. Pass the same
+// *llm.Cache the pipeline's client was wrapped with.
+func WithCache(c *llm.Cache) Option { return func(s *Server) { s.cache = c } }
+
+// WithWorkers sets the default /v1/batch worker-pool size (default 4).
+func WithWorkers(n int) Option { return func(s *Server) { s.workers = n } }
+
 // New builds a server around a constructed pipeline and its corpus.
-func New(p *core.Pipeline, c *spider.Corpus) *Server {
-	s := &Server{pipeline: p, corpus: c, byDB: map[string][]*spider.Example{}}
+func New(p *core.Pipeline, c *spider.Corpus, opts ...Option) *Server {
+	s := &Server{pipeline: p, corpus: c, byDB: map[string][]*spider.Example{}, workers: 4}
 	for _, e := range c.Dev.Examples {
 		key := strings.ToLower(e.DB.Name)
 		s.byDB[key] = append(s.byDB[key], e)
+	}
+	for _, o := range opts {
+		o(s)
 	}
 	return s
 }
@@ -41,6 +57,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/databases", s.handleDatabases)
 	mux.HandleFunc("/translate", s.handleTranslate)
 	mux.HandleFunc("/execute", s.handleExecute)
+	mux.HandleFunc("/v1/batch", s.handleBatch)
+	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		w.Write([]byte("ok"))
@@ -134,6 +152,111 @@ func (s *Server) handleTranslate(w http.ResponseWriter, r *http.Request) {
 	default:
 		http.Error(w, "need task_id or database+question", http.StatusBadRequest)
 	}
+}
+
+// BatchRequest asks for translations of a set of dev tasks, fanned across a
+// bounded worker pool.
+type BatchRequest struct {
+	TaskIDs []int `json:"task_ids"`
+	// Workers overrides the server's default pool size when > 0.
+	Workers int `json:"workers,omitempty"`
+}
+
+// BatchItem is one task's outcome within a batch.
+type BatchItem struct {
+	TaskID     int    `json:"task_id"`
+	SQL        string `json:"sql"`
+	Gold       string `json:"gold"`
+	ExactMatch bool   `json:"exact_match"`
+	ExecMatch  bool   `json:"exec_match"`
+	DemosUsed  int    `json:"demos_used"`
+}
+
+// BatchResponse reports per-task results (in request order) plus aggregate
+// accounting from the engine.
+type BatchResponse struct {
+	Results      []BatchItem `json:"results"`
+	Completed    int         `json:"completed"`
+	InputTokens  int         `json:"input_tokens"`
+	OutputTokens int         `json:"output_tokens"`
+	DemosUsed    int         `json:"demos_used"`
+	Workers      int         `json:"workers"`
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var req BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad json: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(req.TaskIDs) == 0 {
+		http.Error(w, "task_ids is empty", http.StatusBadRequest)
+		return
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	examples := make([]*spider.Example, 0, len(req.TaskIDs))
+	for _, id := range req.TaskIDs {
+		if id < 0 || id >= len(s.corpus.Dev.Examples) {
+			http.Error(w, "task_id out of range", http.StatusNotFound)
+			return
+		}
+		examples = append(examples, s.corpus.Dev.Examples[id])
+	}
+	workers := req.Workers
+	if workers <= 0 {
+		workers = s.workers
+	}
+	eng := core.NewEngine(s.pipeline, workers)
+	results, stats, err := eng.TranslateBatch(r.Context(), examples)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusRequestTimeout)
+		return
+	}
+	out := BatchResponse{
+		Completed:    stats.Completed,
+		InputTokens:  stats.InputTokens,
+		OutputTokens: stats.OutputTokens,
+		DemosUsed:    stats.DemosUsed,
+		Workers:      eng.Workers(),
+	}
+	for i, res := range results {
+		e := examples[i]
+		out.Results = append(out.Results, BatchItem{
+			TaskID:     req.TaskIDs[i],
+			SQL:        res.SQL,
+			Gold:       e.GoldSQL,
+			ExactMatch: eval.ExactSetMatchSQL(res.SQL, e.GoldSQL),
+			ExecMatch:  eval.ExecutionMatch(e.DB, res.SQL, e.GoldSQL),
+			DemosUsed:  res.DemosUsed,
+		})
+	}
+	writeJSON(w, out)
+}
+
+// StatsResponse reports LLM-cache observability counters (the embedded
+// llm.CacheStats fields flatten into the JSON object).
+type StatsResponse struct {
+	CacheEnabled bool `json:"cache_enabled"`
+	llm.CacheStats
+	HitRate float64 `json:"hit_rate"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.cache == nil {
+		writeJSON(w, StatsResponse{})
+		return
+	}
+	st := s.cache.Stats()
+	writeJSON(w, StatsResponse{CacheEnabled: true, CacheStats: st, HitRate: st.HitRate()})
 }
 
 // ExecuteRequest runs read-only SQL against a benchmark database.

@@ -134,3 +134,109 @@ func TestMethodGuards(t *testing.T) {
 		t.Errorf("GET /translate: %d", resp.StatusCode)
 	}
 }
+
+func cachedTestServer(t *testing.T) (*httptest.Server, *spider.Corpus, *llm.Cache) {
+	t.Helper()
+	c := spider.GenerateSmall(13, 0.05)
+	cfg := core.DefaultConfig()
+	cfg.Consistency = 5
+	cache := llm.NewCache(llm.NewSim(llm.ChatGPT), 1024)
+	p := core.New(c.Train.Examples, cache, cfg)
+	srv := httptest.NewServer(New(p, c, WithCache(cache), WithWorkers(4)).Handler())
+	t.Cleanup(srv.Close)
+	return srv, c, cache
+}
+
+func TestBatchEndpoint(t *testing.T) {
+	srv, c, _ := cachedTestServer(t)
+	ids := []int{0, 1, 2, 3, 4, 5}
+	var out BatchResponse
+	postJSON(t, srv.URL+"/v1/batch", BatchRequest{TaskIDs: ids, Workers: 3}, &out)
+	if len(out.Results) != len(ids) || out.Completed != len(ids) {
+		t.Fatalf("bad batch response: %+v", out)
+	}
+	if out.Workers != 3 {
+		t.Errorf("workers override not honored: %d", out.Workers)
+	}
+	for i, item := range out.Results {
+		if item.TaskID != ids[i] {
+			t.Errorf("result %d out of order: task %d", i, item.TaskID)
+		}
+		if item.SQL == "" || item.Gold != c.Dev.Examples[ids[i]].GoldSQL {
+			t.Errorf("result %d incomplete: %+v", i, item)
+		}
+	}
+	if out.InputTokens == 0 || out.DemosUsed == 0 {
+		t.Errorf("aggregate accounting missing: %+v", out)
+	}
+
+	// A batch must agree with the single-task endpoint, task by task.
+	id := ids[2]
+	var single TranslateResponse
+	postJSON(t, srv.URL+"/translate", TranslateRequest{TaskID: &id}, &single)
+	if single.SQL != out.Results[2].SQL {
+		t.Errorf("batch SQL %q != single SQL %q", out.Results[2].SQL, single.SQL)
+	}
+}
+
+func TestBatchEndpointErrors(t *testing.T) {
+	srv, _, _ := cachedTestServer(t)
+	empty := postJSON(t, srv.URL+"/v1/batch", BatchRequest{}, nil)
+	if empty.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty batch: status %d", empty.StatusCode)
+	}
+	oob := postJSON(t, srv.URL+"/v1/batch", BatchRequest{TaskIDs: []int{999999}}, nil)
+	if oob.StatusCode != http.StatusNotFound {
+		t.Errorf("out-of-range batch: status %d", oob.StatusCode)
+	}
+	resp, err := http.Get(srv.URL + "/v1/batch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/batch: %d", resp.StatusCode)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	srv, _, _ := cachedTestServer(t)
+	// Translate the same task twice: the second run's self-consistency call
+	// must hit the cache.
+	postJSON(t, srv.URL+"/v1/batch", BatchRequest{TaskIDs: []int{0, 1}}, nil)
+	postJSON(t, srv.URL+"/v1/batch", BatchRequest{TaskIDs: []int{0, 1}}, nil)
+	resp, err := http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if !st.CacheEnabled {
+		t.Fatal("cache not reported as enabled")
+	}
+	if st.Hits == 0 || st.Misses == 0 {
+		t.Errorf("expected hits and misses after repeated batch: %+v", st)
+	}
+	if st.HitRate <= 0 {
+		t.Errorf("hit rate should be positive: %+v", st)
+	}
+}
+
+func TestStatsEndpointWithoutCache(t *testing.T) {
+	srv, _ := testServer(t)
+	resp, err := http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.CacheEnabled {
+		t.Errorf("cache should be reported disabled: %+v", st)
+	}
+}
