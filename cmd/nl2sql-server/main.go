@@ -1,20 +1,31 @@
 // Command nl2sql-server serves the PURPLE pipeline over HTTP.
 //
-//	nl2sql-server -addr :8080 -scale 0.1 -workers 8
+//	nl2sql-server -addr :8080 -scale 0.1 -workers 8 -job-runners 2 -job-queue 16
 //	curl localhost:8080/databases
 //	curl -X POST localhost:8080/translate -d '{"task_id": 3}'
 //	curl -X POST localhost:8080/v1/batch -d '{"task_ids": [0,1,2,3], "workers": 4}'
+//	curl -X POST localhost:8080/v1/jobs -d '{"task_ids": [0,1,2,3]}'   # async: returns a job id
+//	curl localhost:8080/v1/jobs/job-000001                             # poll progress/results
+//	curl -X DELETE localhost:8080/v1/jobs/job-000001                   # cancel
 //	curl localhost:8080/v1/stats
 //	curl -X POST localhost:8080/execute -d '{"database":"tv","sql":"SELECT COUNT(*) FROM cartoon"}'
+//
+// On SIGINT/SIGTERM the server stops accepting connections, then drains the
+// job subsystem: queued jobs are cancelled, running jobs get -drain-timeout
+// to finish before being cancelled with partial results checkpointed.
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
 	"net/http"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/jobs"
 	"repro/internal/llm"
 	"repro/internal/service"
 	"repro/internal/spider"
@@ -22,11 +33,15 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		scale    = flag.Float64("scale", 0.1, "corpus scale")
-		seed     = flag.Int64("seed", 1, "corpus seed")
-		workers  = flag.Int("workers", 4, "default /v1/batch worker-pool size")
-		cacheCap = flag.Int("cache", 4096, "LLM response cache capacity in entries (0 disables)")
+		addr         = flag.String("addr", ":8080", "listen address")
+		scale        = flag.Float64("scale", 0.1, "corpus scale")
+		seed         = flag.Int64("seed", 1, "corpus seed")
+		workers      = flag.Int("workers", 4, "default /v1/batch worker-pool size")
+		cacheCap     = flag.Int("cache", 4096, "LLM response cache capacity in entries (0 disables)")
+		jobRunners   = flag.Int("job-runners", 2, "concurrent async jobs (runner goroutines; 0 disables /v1/jobs)")
+		jobQueue     = flag.Int("job-queue", 16, "async job admission-queue capacity (full queue => 429)")
+		jobTTL       = flag.Duration("job-ttl", 15*time.Minute, "how long finished jobs stay queryable")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for running jobs")
 	)
 	flag.Parse()
 
@@ -41,16 +56,55 @@ func main() {
 		opts = append(opts, service.WithCache(cache))
 	}
 	opts = append(opts, service.WithWorkers(*workers))
+	if *jobRunners > 0 {
+		opts = append(opts, service.WithJobs(jobs.Config{
+			Runners: *jobRunners,
+			Queue:   *jobQueue,
+			Workers: *workers,
+			TTL:     *jobTTL,
+		}))
+	}
 	pipeline := core.New(corpus.Train.Examples, client, core.DefaultConfig())
-	log.Printf("ready in %v; %d dev tasks over %d databases",
-		time.Since(start).Round(time.Millisecond), len(corpus.Dev.Examples), len(corpus.Dev.Databases))
+	svc := service.New(pipeline, corpus, opts...)
+	log.Printf("ready in %v; %d dev tasks over %d databases; %d job runners, queue %d",
+		time.Since(start).Round(time.Millisecond), len(corpus.Dev.Examples), len(corpus.Dev.Databases),
+		*jobRunners, *jobQueue)
 
 	srv := &http.Server{
 		Addr:         *addr,
-		Handler:      service.New(pipeline, corpus, opts...).Handler(),
+		Handler:      svc.Handler(),
 		ReadTimeout:  30 * time.Second,
 		WriteTimeout: 120 * time.Second,
 	}
-	log.Printf("listening on %s", *addr)
-	log.Fatal(srv.ListenAndServe())
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s", *addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("signal received; draining (budget %v)...", *drainTimeout)
+	httpCtx, cancelHTTP := context.WithTimeout(context.Background(), *drainTimeout)
+	if err := srv.Shutdown(httpCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	cancelHTTP()
+	// The job drain gets its own budget: a slow in-flight HTTP request must
+	// not eat the time promised to running jobs.
+	jobCtx, cancelJobs := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancelJobs()
+	if err := svc.Shutdown(jobCtx); err != nil {
+		log.Printf("job drain cut short: %v (partial results checkpointed)", err)
+	} else {
+		log.Printf("drained cleanly")
+	}
 }

@@ -43,13 +43,28 @@ type BatchStats struct {
 
 // TranslateBatch translates every example, preserving input order: out[i]
 // is the translation of examples[i]. On context cancellation it stops
-// dispatching, waits for in-flight workers, and returns the partial results
-// (untranslated slots are zero Translations, and stats count only completed
-// slots) along with ctx.Err().
+// dispatching, workers stop picking up not-yet-started examples, in-flight
+// translations finish, and the partial results are returned (untranslated
+// slots are zero Translations, and stats count only completed slots) along
+// with ctx.Err(). A cancellation that lands after every example completed
+// returns the full results with a nil error.
 func (g *Engine) TranslateBatch(ctx context.Context, examples []*spider.Example) ([]Translation, BatchStats, error) {
+	return g.TranslateBatchProgress(ctx, examples, nil)
+}
+
+// TranslateBatchProgress is TranslateBatch with a completion observer: after
+// each example finishes, progress is called with the example's input index,
+// its translation, and cumulative stats over everything completed so far.
+// Calls are serialized (no locking needed inside progress) but arrive in
+// completion order, not input order. The returned results and stats are
+// byte-identical to TranslateBatch's — the observer changes nothing.
+func (g *Engine) TranslateBatchProgress(ctx context.Context, examples []*spider.Example, progress func(i int, t Translation, sofar BatchStats)) ([]Translation, BatchStats, error) {
 	out := make([]Translation, len(examples))
 	done := make([]bool, len(examples))
 	jobs := make(chan int)
+
+	var progressMu sync.Mutex
+	var sofar BatchStats
 
 	var wg sync.WaitGroup
 	workers := g.workers
@@ -61,8 +76,22 @@ func (g *Engine) TranslateBatch(ctx context.Context, examples []*spider.Example)
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
+				select {
+				case <-ctx.Done():
+					continue // drain remaining indices without translating
+				default:
+				}
 				out[i] = g.tr.Translate(examples[i])
 				done[i] = true
+				if progress != nil {
+					progressMu.Lock()
+					sofar.Completed++
+					sofar.InputTokens += out[i].InputTokens
+					sofar.OutputTokens += out[i].OutputTokens
+					sofar.DemosUsed += out[i].DemosUsed
+					progress(i, out[i], sofar)
+					progressMu.Unlock()
+				}
 			}
 		}()
 	}
@@ -89,6 +118,11 @@ dispatch:
 		stats.InputTokens += t.InputTokens
 		stats.OutputTokens += t.OutputTokens
 		stats.DemosUsed += t.DemosUsed
+	}
+	// A cancellation can also land after dispatch finished but before the
+	// workers drained their queue; report it whenever slots went untranslated.
+	if err == nil && stats.Completed < len(examples) {
+		err = ctx.Err()
 	}
 	return out, stats, err
 }

@@ -111,3 +111,48 @@ func TestEngineDefaultWorkers(t *testing.T) {
 		t.Errorf("explicit worker count not respected: %d", w)
 	}
 }
+
+// TestBatchProgressObserver checks the progress hook: serialized calls, one
+// per example, cumulative stats that end exactly at the batch totals, and
+// results identical to the unobserved batch.
+func TestBatchProgressObserver(t *testing.T) {
+	p, c := pipelineFixture(t, DefaultConfig())
+	dev := c.Dev.Examples
+	if len(dev) > 25 {
+		dev = dev[:25]
+	}
+	want, wantStats, err := NewEngine(p, 4).TranslateBatch(context.Background(), dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make([]bool, len(dev))
+	var last BatchStats
+	calls := 0
+	got, stats, err := NewEngine(p, 4).TranslateBatchProgress(context.Background(), dev,
+		func(i int, tr Translation, sofar BatchStats) {
+			calls++
+			if seen[i] {
+				t.Errorf("progress called twice for index %d", i)
+			}
+			seen[i] = true
+			if sofar.Completed != calls {
+				t.Errorf("cumulative Completed %d != call count %d", sofar.Completed, calls)
+			}
+			if !reflect.DeepEqual(tr, want[i]) {
+				t.Errorf("progress translation for %d differs from batch result", i)
+			}
+			last = sofar
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != len(dev) {
+		t.Errorf("progress called %d times for %d examples", calls, len(dev))
+	}
+	if !reflect.DeepEqual(got, want) || !reflect.DeepEqual(stats, wantStats) {
+		t.Errorf("observed batch differs from unobserved batch")
+	}
+	if !reflect.DeepEqual(last, wantStats) {
+		t.Errorf("final cumulative stats %+v != batch stats %+v", last, wantStats)
+	}
+}

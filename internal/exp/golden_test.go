@@ -1,0 +1,87 @@
+package exp
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// Golden snapshots pin the reproduction's headline tables against
+// accidental drift: any change to the pipeline, the corpus sampler, the
+// simulated LLM, or the metrics that shifts Table 4 or Table 6 output shows
+// up as a byte diff here. Regenerate deliberately with:
+//
+//	go test ./internal/exp -run TestGolden -update
+//
+// The environment (seed 3, scale 0.05, limit 20) matches the package's
+// other tests so the snapshot stays cheap.
+func goldenEnv(t *testing.T) *Env {
+	t.Helper()
+	return NewEnv(3, 0.05)
+}
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file %s (run with -update to create it): %v", path, err)
+	}
+	if got == string(want) {
+		return
+	}
+	// Pinpoint the first diverging line for a readable failure.
+	gotLines, wantLines := strings.Split(got, "\n"), strings.Split(string(want), "\n")
+	for i := 0; i < len(gotLines) || i < len(wantLines); i++ {
+		g, w := "", ""
+		if i < len(gotLines) {
+			g = gotLines[i]
+		}
+		if i < len(wantLines) {
+			w = wantLines[i]
+		}
+		if g != w {
+			t.Fatalf("%s drifted at line %d:\n  golden: %q\n  got:    %q\n(rerun with -update only if the change is intentional)",
+				name, i+1, w, g)
+		}
+	}
+	t.Fatalf("%s drifted (lengths %d vs %d)", name, len(got), len(want))
+}
+
+func TestGoldenTable4(t *testing.T) {
+	env := goldenEnv(t)
+	checkGolden(t, "table4.golden", env.Table4(RunOptions{Limit: 20}))
+}
+
+func TestGoldenTable6(t *testing.T) {
+	env := goldenEnv(t)
+	checkGolden(t, "table6.golden", env.Table6(RunOptions{Limit: 20}))
+}
+
+// TestGoldenStability re-renders each pinned table a second time from a
+// fresh environment and requires byte-identical output — the determinism
+// property the snapshots rely on.
+func TestGoldenStability(t *testing.T) {
+	a, b := NewEnv(3, 0.05), NewEnv(3, 0.05)
+	if x, y := a.Table6(RunOptions{Limit: 20}), b.Table6(RunOptions{Limit: 20}); x != y {
+		t.Fatal("Table6 output not deterministic across environments")
+	}
+	if x, y := fmt.Sprint(a.Table4(RunOptions{Limit: 20})), fmt.Sprint(b.Table4(RunOptions{Limit: 20})); x != y {
+		t.Fatal("Table4 output not deterministic across environments")
+	}
+}

@@ -5,6 +5,7 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"strings"
@@ -13,10 +14,16 @@ import (
 	"repro/internal/classifier"
 	"repro/internal/core"
 	"repro/internal/eval"
+	"repro/internal/jobs"
 	"repro/internal/llm"
 	"repro/internal/spider"
 	"repro/internal/sqlexec"
 )
+
+// defaultMaxBatch caps how many tasks one /v1/batch or /v1/jobs request may
+// carry; larger requests are rejected with 413 so a single caller cannot
+// monopolize the engine.
+const defaultMaxBatch = 1024
 
 // Server wires a pipeline and a set of databases into an http.Handler.
 type Server struct {
@@ -25,7 +32,15 @@ type Server struct {
 	corpus   *spider.Corpus
 	byDB     map[string][]*spider.Example
 	cache    *llm.Cache
+	jobs     *jobs.Manager
 	workers  int
+	maxBatch int
+
+	// resMu guards resCache, the memoized rendered results of finished
+	// jobs (ExecutionMatch re-executes SQL, so rendering once per job —
+	// not once per poll — matters).
+	resMu    sync.Mutex
+	resCache map[string][]BatchItem
 }
 
 // Option configures optional server features.
@@ -38,9 +53,37 @@ func WithCache(c *llm.Cache) Option { return func(s *Server) { s.cache = c } }
 // WithWorkers sets the default /v1/batch worker-pool size (default 4).
 func WithWorkers(n int) Option { return func(s *Server) { s.workers = n } }
 
+// WithMaxBatch overrides the per-request task cap (default 1024).
+func WithMaxBatch(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.maxBatch = n
+		}
+	}
+}
+
+// WithJobs enables the asynchronous job subsystem (/v1/jobs endpoints): a
+// jobs.Manager wrapping the server's pipeline is started with cfg. Call
+// Server.Shutdown to drain it.
+func WithJobs(cfg jobs.Config) Option {
+	return func(s *Server) { s.jobs = jobs.NewManager(s.pipeline, cfg) }
+}
+
+// WithJobsManager wires a pre-built jobs.Manager instead of constructing
+// one — for callers that share a manager across servers or run jobs through
+// a custom Translator. The manager's translations must agree with the
+// server's pipeline for result rendering to make sense.
+func WithJobsManager(m *jobs.Manager) Option {
+	return func(s *Server) { s.jobs = m }
+}
+
 // New builds a server around a constructed pipeline and its corpus.
 func New(p *core.Pipeline, c *spider.Corpus, opts ...Option) *Server {
-	s := &Server{pipeline: p, corpus: c, byDB: map[string][]*spider.Example{}, workers: 4}
+	s := &Server{
+		pipeline: p, corpus: c, byDB: map[string][]*spider.Example{},
+		workers: 4, maxBatch: defaultMaxBatch,
+		resCache: map[string][]BatchItem{},
+	}
 	for _, e := range c.Dev.Examples {
 		key := strings.ToLower(e.DB.Name)
 		s.byDB[key] = append(s.byDB[key], e)
@@ -51,6 +94,20 @@ func New(p *core.Pipeline, c *spider.Corpus, opts ...Option) *Server {
 	return s
 }
 
+// Jobs exposes the job manager (nil unless WithJobs was passed).
+func (s *Server) Jobs() *jobs.Manager { return s.jobs }
+
+// Shutdown gracefully drains the job subsystem: admission stops, queued
+// jobs are cancelled, and running jobs get until ctx expires to finish
+// before being cancelled with partial results. It is a no-op when jobs are
+// disabled.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.jobs == nil {
+		return nil
+	}
+	return s.jobs.Shutdown(ctx)
+}
+
 // Handler returns the route table.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -59,11 +116,31 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/execute", s.handleExecute)
 	mux.HandleFunc("/v1/batch", s.handleBatch)
 	mux.HandleFunc("/v1/stats", s.handleStats)
+	if s.jobs != nil {
+		mux.HandleFunc("POST /v1/jobs", s.handleJobCreate)
+		mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+		mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+		mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	}
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		w.Write([]byte("ok"))
 	})
 	return mux
+}
+
+// lookupTasks resolves task IDs to dev examples, writing a 404 and
+// returning ok=false on any out-of-range ID. Callers must hold s.mu.
+func (s *Server) lookupTasks(w http.ResponseWriter, ids []int) ([]*spider.Example, bool) {
+	examples := make([]*spider.Example, 0, len(ids))
+	for _, id := range ids {
+		if id < 0 || id >= len(s.corpus.Dev.Examples) {
+			http.Error(w, "task_id out of range", http.StatusNotFound)
+			return nil, false
+		}
+		examples = append(examples, s.corpus.Dev.Examples[id])
+	}
+	return examples, true
 }
 
 type databaseInfo struct {
@@ -197,15 +274,15 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "task_ids is empty", http.StatusBadRequest)
 		return
 	}
+	if len(req.TaskIDs) > s.maxBatch {
+		http.Error(w, "batch too large", http.StatusRequestEntityTooLarge)
+		return
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	examples := make([]*spider.Example, 0, len(req.TaskIDs))
-	for _, id := range req.TaskIDs {
-		if id < 0 || id >= len(s.corpus.Dev.Examples) {
-			http.Error(w, "task_id out of range", http.StatusNotFound)
-			return
-		}
-		examples = append(examples, s.corpus.Dev.Examples[id])
+	examples, ok := s.lookupTasks(w, req.TaskIDs)
+	if !ok {
+		return
 	}
 	workers := req.Workers
 	if workers <= 0 {
@@ -239,11 +316,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 }
 
 // StatsResponse reports LLM-cache observability counters (the embedded
-// llm.CacheStats fields flatten into the JSON object).
+// llm.CacheStats fields flatten into the JSON object) plus, when the job
+// subsystem is enabled, its queue/lifecycle counters.
 type StatsResponse struct {
 	CacheEnabled bool `json:"cache_enabled"`
 	llm.CacheStats
-	HitRate float64 `json:"hit_rate"`
+	HitRate     float64        `json:"hit_rate"`
+	JobsEnabled bool           `json:"jobs_enabled"`
+	Jobs        *jobs.Counters `json:"jobs,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -251,12 +331,19 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
-	if s.cache == nil {
-		writeJSON(w, StatsResponse{})
-		return
+	var out StatsResponse
+	if s.cache != nil {
+		st := s.cache.Stats()
+		out.CacheEnabled = true
+		out.CacheStats = st
+		out.HitRate = st.HitRate()
 	}
-	st := s.cache.Stats()
-	writeJSON(w, StatsResponse{CacheEnabled: true, CacheStats: st, HitRate: st.HitRate()})
+	if s.jobs != nil {
+		c := s.jobs.Stats()
+		out.JobsEnabled = true
+		out.Jobs = &c
+	}
+	writeJSON(w, out)
 }
 
 // ExecuteRequest runs read-only SQL against a benchmark database.

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"repro/internal/core"
@@ -238,5 +239,82 @@ func TestStatsEndpointWithoutCache(t *testing.T) {
 	}
 	if st.CacheEnabled {
 		t.Errorf("cache should be reported disabled: %+v", st)
+	}
+}
+
+// TestMalformedJSONBodies: every POST endpoint must reject syntactically
+// invalid JSON with 400, not hang or 500.
+func TestMalformedJSONBodies(t *testing.T) {
+	srv, _ := testServer(t)
+	for _, path := range []string{"/translate", "/execute", "/v1/batch"} {
+		resp, err := http.Post(srv.URL+path, "application/json", strings.NewReader("{not json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("POST %s with malformed body: %d", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestUnknownDatabaseNames: both database-addressed endpoints 404 on names
+// outside the corpus.
+func TestUnknownDatabaseNames(t *testing.T) {
+	srv, _ := testServer(t)
+	resp := postJSON(t, srv.URL+"/translate", TranslateRequest{Database: "no_such_db", Question: "how many?"}, nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("translate unknown db: %d", resp.StatusCode)
+	}
+	resp = postJSON(t, srv.URL+"/execute", ExecuteRequest{Database: "no_such_db", SQL: "SELECT 1 FROM t"}, nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("execute unknown db: %d", resp.StatusCode)
+	}
+}
+
+// TestMethodNotAllowedEverywhere sweeps the wrong verb across the route
+// table.
+func TestMethodNotAllowedEverywhere(t *testing.T) {
+	srv, _ := testServer(t)
+	cases := []struct{ method, path string }{
+		{http.MethodPost, "/databases"},
+		{http.MethodGet, "/translate"},
+		{http.MethodGet, "/execute"},
+		{http.MethodGet, "/v1/batch"},
+		{http.MethodPost, "/v1/stats"},
+	}
+	for _, c := range cases {
+		req, err := http.NewRequest(c.method, srv.URL+c.path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("%s %s: %d, want 405", c.method, c.path, resp.StatusCode)
+		}
+	}
+}
+
+// TestBatchOversized: a batch beyond the configured cap is rejected with
+// 413 before any translation work starts.
+func TestBatchOversized(t *testing.T) {
+	c := spider.GenerateSmall(13, 0.05)
+	cfg := core.DefaultConfig()
+	cfg.Consistency = 5
+	p := core.New(c.Train.Examples, llm.NewSim(llm.ChatGPT), cfg)
+	srv := httptest.NewServer(New(p, c, WithMaxBatch(3)).Handler())
+	t.Cleanup(srv.Close)
+	resp := postJSON(t, srv.URL+"/v1/batch", BatchRequest{TaskIDs: []int{0, 1, 0, 1}}, nil)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized batch: %d, want 413", resp.StatusCode)
+	}
+	var out BatchResponse
+	postJSON(t, srv.URL+"/v1/batch", BatchRequest{TaskIDs: []int{0, 1, 0}}, &out)
+	if len(out.Results) != 3 {
+		t.Errorf("at-cap batch rejected: %+v", out)
 	}
 }

@@ -1,0 +1,137 @@
+package sqlir_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/spider"
+	"repro/internal/sqlir"
+)
+
+// fuzzSeeds feeds the fuzzer hand-picked grammar corners plus a slice of the
+// spider sampler's gold queries, so mutation starts from realistic SQL.
+func fuzzSeeds(f *testing.F) {
+	for _, s := range []string{
+		"SELECT * FROM t",
+		"SELECT a, b FROM t WHERE a = 1 AND b < 'x' ORDER BY a DESC LIMIT 3",
+		"SELECT COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 2",
+		"SELECT t1.a FROM t1 JOIN t2 ON t1.id = t2.id WHERE t2.b IN (1, 2, 3)",
+		"SELECT a FROM t WHERE b BETWEEN 1 AND 5 OR c LIKE '%x%'",
+		"SELECT a FROM t WHERE NOT a = 1 AND b IS NOT NULL",
+		"SELECT a FROM t WHERE a IN (SELECT b FROM u) UNION SELECT c FROM v",
+		"SELECT a FROM t WHERE EXISTS (SELECT * FROM u WHERE u.x = 1)",
+		"SELECT a FROM t WHERE NOT EXISTS (SELECT * FROM u)",
+		"SELECT a FROM t WHERE (a = 1 OR b = 2) AND c = 3",
+		"SELECT DISTINCT a + b * 2 FROM t AS x WHERE a / 2 >= 1",
+		"SELECT MAX(a) - MIN(a) FROM t",
+		"SELECT a FROM t WHERE s = 'it''s'",
+		"SELECT a FROM t WHERE a > (SELECT AVG(b) FROM u)",
+		"SELECT a FROM t INTERSECT SELECT a FROM u EXCEPT SELECT a FROM v",
+		"SELECT CONCAT(a, b) FROM t",
+		"SELECT a FROM t ORDER BY COUNT(a) ASC, b DESC",
+	} {
+		f.Add(s)
+	}
+	c := spider.GenerateSmall(7, 0.02)
+	for i, e := range c.Train.Examples {
+		if i >= 64 {
+			break
+		}
+		f.Add(e.GoldSQL)
+	}
+}
+
+// FuzzParse asserts the lexer and parser never panic (and never run away)
+// on arbitrary input. Errors are fine; crashes are not.
+func FuzzParse(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, input string) {
+		if len(input) > 1<<16 {
+			t.Skip("input too large")
+		}
+		sel, err := sqlir.Parse(input)
+		if err == nil && sel == nil {
+			t.Fatalf("Parse(%q) returned nil AST without error", input)
+		}
+	})
+}
+
+// FuzzRoundTrip asserts the printer is lossless over everything the parser
+// accepts: parse → print → parse must reproduce the identical AST, and the
+// printed form must be a fixed point of print∘parse.
+func FuzzRoundTrip(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, input string) {
+		if len(input) > 1<<14 {
+			t.Skip("input too large")
+		}
+		sel, err := sqlir.Parse(input)
+		if err != nil {
+			return
+		}
+		printed := sqlir.String(sel)
+		sel2, err := sqlir.Parse(printed)
+		if err != nil {
+			t.Fatalf("reprint of %q is unparseable: %q: %v", input, printed, err)
+		}
+		if !reflect.DeepEqual(sel, sel2) {
+			t.Fatalf("round-trip AST mismatch for %q\nprinted: %q\nfirst:  %#v\nsecond: %#v",
+				input, printed, sel, sel2)
+		}
+		if printed2 := sqlir.String(sel2); printed != printed2 {
+			t.Fatalf("print not a fixed point for %q: %q != %q", input, printed, printed2)
+		}
+	})
+}
+
+// TestRoundTripCorpus runs the round-trip property over every gold query the
+// sampler produces — the deterministic companion to FuzzRoundTrip.
+func TestRoundTripCorpus(t *testing.T) {
+	c := spider.GenerateSmall(11, 0.05)
+	for _, b := range []*spider.Benchmark{c.Train, c.Dev, c.DK, c.Realistic, c.Syn} {
+		for _, e := range b.Examples {
+			printed := sqlir.String(e.Gold)
+			sel, err := sqlir.Parse(printed)
+			if err != nil {
+				t.Fatalf("%s: gold SQL does not re-parse: %q: %v", b.Name, printed, err)
+			}
+			if printed2 := sqlir.String(sel); printed != printed2 {
+				t.Errorf("%s: print not a fixed point: %q != %q", b.Name, printed, printed2)
+			}
+		}
+	}
+}
+
+// TestParseDepthGuard pins the recursion bound: pathologically nested input
+// must error, not overflow the stack.
+func TestParseDepthGuard(t *testing.T) {
+	deep := "SELECT " + strings.Repeat("(", 5000) + "1" + strings.Repeat(")", 5000) + " FROM t"
+	if _, err := sqlir.Parse(deep); err == nil {
+		t.Fatal("deeply nested input parsed without error")
+	}
+	ok := "SELECT ((a + 1)) FROM t WHERE ((a = 1))"
+	if _, err := sqlir.Parse(ok); err != nil {
+		t.Fatalf("shallow nesting rejected: %v", err)
+	}
+}
+
+// TestStringEscapeRoundTrip pins quote escaping through the lexer/printer
+// pair.
+func TestStringEscapeRoundTrip(t *testing.T) {
+	sel, err := sqlir.Parse("SELECT a FROM t WHERE s = 'it''s'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	printed := sqlir.String(sel)
+	if !strings.Contains(printed, "'it''s'") {
+		t.Errorf("escaped quote lost: %q", printed)
+	}
+	sel2, err := sqlir.Parse(printed)
+	if err != nil {
+		t.Fatalf("reprint unparseable: %v", err)
+	}
+	if !reflect.DeepEqual(sel, sel2) {
+		t.Errorf("AST mismatch after escape round-trip")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 	"unicode"
+	"unicode/utf8"
 )
 
 // Lex tokenizes a SQL string into tokens. It returns an error for characters
@@ -71,11 +72,22 @@ func Lex(input string) ([]Token, error) {
 			quote := c
 			j := i + 1
 			var sb strings.Builder
-			for j < n && input[j] != quote {
+			closed := false
+			for j < n {
+				if input[j] == quote {
+					// A doubled quote is an escaped literal quote character.
+					if j+1 < n && input[j+1] == quote {
+						sb.WriteByte(quote)
+						j += 2
+						continue
+					}
+					closed = true
+					break
+				}
 				sb.WriteByte(input[j])
 				j++
 			}
-			if j >= n {
+			if !closed {
 				return nil, fmt.Errorf("sqlir: unterminated string at offset %d", i)
 			}
 			toks = append(toks, Token{TokString, sb.String(), i})
@@ -91,10 +103,24 @@ func Lex(input string) ([]Token, error) {
 			}
 			toks = append(toks, Token{TokNumber, input[i:j], i})
 			i = j
-		case isIdentStart(rune(c)):
+		case c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= utf8.RuneSelf:
+			// Identifiers are scanned as UTF-8 (the parser upper-cases
+			// identifier text, which is UTF-8-aware); invalid bytes are
+			// rejected rather than silently treated as Latin-1 letters.
 			j := i
-			for j < n && isIdentPart(rune(input[j])) {
-				j++
+			for j < n {
+				r, size := utf8.DecodeRuneInString(input[j:])
+				if r == utf8.RuneError && size <= 1 {
+					return nil, fmt.Errorf("sqlir: invalid UTF-8 byte 0x%02x at offset %d", input[j], j)
+				}
+				if !isIdentPart(r) {
+					break
+				}
+				j += size
+			}
+			if j == i {
+				r, _ := utf8.DecodeRuneInString(input[i:])
+				return nil, fmt.Errorf("sqlir: unexpected character %q at offset %d", r, i)
 			}
 			word := input[i:j]
 			if IsKeyword(word) {
@@ -112,10 +138,6 @@ func Lex(input string) ([]Token, error) {
 }
 
 func isDigit(b byte) bool { return b >= '0' && b <= '9' }
-
-func isIdentStart(r rune) bool {
-	return r == '_' || unicode.IsLetter(r)
-}
 
 func isIdentPart(r rune) bool {
 	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)

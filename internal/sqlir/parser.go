@@ -37,9 +37,25 @@ func MustParse(input string) *Select {
 }
 
 type parser struct {
-	toks []Token
-	pos  int
+	toks  []Token
+	pos   int
+	depth int
 }
+
+// maxParseDepth bounds recursive descent so pathological inputs (deeply
+// nested parentheses or subqueries) fail with an error instead of
+// exhausting the goroutine stack.
+const maxParseDepth = 200
+
+func (p *parser) enter() error {
+	p.depth++
+	if p.depth > maxParseDepth {
+		return fmt.Errorf("sqlir: expression nesting deeper than %d", maxParseDepth)
+	}
+	return nil
+}
+
+func (p *parser) leave() { p.depth-- }
 
 func (p *parser) cur() Token { return p.toks[p.pos] }
 func (p *parser) peek() Token {
@@ -74,6 +90,10 @@ func (p *parser) expect(kind TokenKind, text string) (Token, error) {
 }
 
 func (p *parser) parseQuery() (*Select, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	sel, err := p.parseSelect()
 	if err != nil {
 		return nil, err
@@ -300,6 +320,10 @@ func (p *parser) parseColumnRef() (*ColumnRef, error) {
 
 // parseExpr parses a boolean expression (OR-level).
 func (p *parser) parseExpr() (Expr, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	left, err := p.parseAnd()
 	if err != nil {
 		return nil, err
@@ -344,8 +368,11 @@ func (p *parser) parseNot() (Expr, error) {
 }
 
 func (p *parser) parsePredicate() (Expr, error) {
-	if p.cur().Kind == TokKeyword && p.cur().Text == "EXISTS" {
-		p.next()
+	if p.cur().Kind == TokKeyword && p.cur().Text == "EXISTS" ||
+		(p.cur().Kind == TokKeyword && p.cur().Text == "NOT" &&
+			p.peek().Kind == TokKeyword && p.peek().Text == "EXISTS") {
+		negate := p.acceptKeyword("NOT")
+		p.next() // EXISTS
 		if _, err := p.expect(TokLParen, ""); err != nil {
 			return nil, err
 		}
@@ -356,7 +383,7 @@ func (p *parser) parsePredicate() (Expr, error) {
 		if _, err := p.expect(TokRParen, ""); err != nil {
 			return nil, err
 		}
-		return &Exists{Sub: sub}, nil
+		return &Exists{Sub: sub, Negate: negate}, nil
 	}
 	left, err := p.parseOperand()
 	if err != nil {

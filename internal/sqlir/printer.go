@@ -18,7 +18,9 @@ const (
 
 type emitter func(kind emitKind, text string)
 
-// String renders the Select as canonical SQL text.
+// String renders the Select as canonical SQL text. The rendering is
+// re-parseable: Parse(String(sel)) yields an AST identical to sel for any
+// sel produced by Parse (FuzzRoundTrip enforces this).
 func String(sel *Select) string {
 	var parts []string
 	emitSelect(sel, func(kind emitKind, text string) {
@@ -54,7 +56,7 @@ func emitSelect(sel *Select, emit emitter) {
 		if i > 0 {
 			emit(emitPunct, ",")
 		}
-		emitExpr(it.Expr, emit)
+		emitExprPrec(it.Expr, emit, precOperand)
 		if it.Alias != "" {
 			emit(emitKeyword, "AS")
 			emit(emitName, it.Alias)
@@ -93,7 +95,7 @@ func emitSelect(sel *Select, emit emitter) {
 			if i > 0 {
 				emit(emitPunct, ",")
 			}
-			emitExpr(o.Expr, emit)
+			emitExprPrec(o.Expr, emit, precOperand)
 			if o.Desc {
 				emit(emitKeyword, "DESC")
 			} else {
@@ -123,7 +125,95 @@ func emitTableRef(t TableRef, emit emitter) {
 	}
 }
 
-func emitExpr(e Expr, emit emitter) {
+// Expression precedence levels, mirroring the parser's descent: parseExpr
+// (OR) → parseAnd → parseNot → parsePredicate → parseOperand (additive) →
+// parseMul → parsePrimary. The printer parenthesizes any child whose level
+// is below what its grammatical position re-parses at, so printed text
+// always reproduces the AST shape.
+const (
+	precOr        = 1
+	precAnd       = 2
+	precNot       = 3
+	precPredicate = 4 // comparisons, IN, LIKE, BETWEEN, IS NULL, EXISTS
+	precOperand   = 5 // + and -
+	precMul       = 6 // * and /
+	precAtom      = 7
+)
+
+func exprPrec(e Expr) int {
+	switch v := e.(type) {
+	case *Binary:
+		switch v.Op {
+		case "OR":
+			return precOr
+		case "AND":
+			return precAnd
+		case "+", "-":
+			return precOperand
+		case "*", "/":
+			return precMul
+		default:
+			return precPredicate
+		}
+	case *Not:
+		return precNot
+	case *Between, *Like, *In, *IsNull, *Exists:
+		return precPredicate
+	default:
+		return precAtom
+	}
+}
+
+// startsWithKeyword reports whether the first token emitted for e lexes as a
+// SQL keyword. The parser's NOT-prefix and `*`-as-multiplication lookaheads
+// bail out when the next token is a keyword, so such children must be
+// parenthesized even when precedence alone would not require it.
+func startsWithKeyword(e Expr) bool {
+	switch v := e.(type) {
+	case *Agg:
+		return IsKeyword(v.Fn)
+	case *Exists, *Not:
+		return true
+	case *Binary:
+		return startsWithKeyword(v.L)
+	case *Between:
+		return startsWithKeyword(v.E)
+	case *Like:
+		return startsWithKeyword(v.E)
+	case *In:
+		return startsWithKeyword(v.E)
+	case *IsNull:
+		return startsWithKeyword(v.E)
+	default:
+		return false
+	}
+}
+
+func emitExpr(e Expr, emit emitter) { emitExprPrec(e, emit, precOr) }
+
+// emitParen wraps an expression in explicit parentheses.
+func emitParen(e Expr, emit emitter) {
+	emit(emitPunct, "(")
+	emitExprPrec(e, emit, precOr)
+	emit(emitPunct, ")")
+}
+
+// emitChild renders a child expression that re-parses at minPrec, adding
+// parentheses when the child binds looser (or when keywordGuard is set and
+// the child's first token would derail the parser's lookahead).
+func emitChild(e Expr, emit emitter, minPrec int, keywordGuard bool) {
+	if exprPrec(e) < minPrec || (keywordGuard && startsWithKeyword(e)) {
+		emitParen(e, emit)
+		return
+	}
+	emitExprPrec(e, emit, minPrec)
+}
+
+func emitExprPrec(e Expr, emit emitter, minPrec int) {
+	if exprPrec(e) < minPrec {
+		emitParen(e, emit)
+		return
+	}
 	switch v := e.(type) {
 	case *ColumnRef:
 		if v.Table != "" {
@@ -139,7 +229,7 @@ func emitExpr(e Expr, emit emitter) {
 		emit(emitKeyword, "*")
 	case *Literal:
 		if v.IsString {
-			emit(emitValue, "'"+v.Str+"'")
+			emit(emitValue, "'"+strings.ReplaceAll(v.Str, "'", "''")+"'")
 		} else if v.Raw != "" {
 			emit(emitValue, v.Raw)
 		} else {
@@ -154,36 +244,59 @@ func emitExpr(e Expr, emit emitter) {
 			if i > 0 {
 				emit(emitPunct, ",")
 			}
-			emitExpr(a, emit)
+			emitChild(a, emit, precOperand, false)
 		}
 		emit(emitPunct, ")")
 	case *Binary:
-		emitExpr(v.L, emit)
-		emit(emitKeyword, v.Op)
-		emitExpr(v.R, emit)
+		switch v.Op {
+		case "OR":
+			emitChild(v.L, emit, precOr, false)
+			emit(emitKeyword, v.Op)
+			emitChild(v.R, emit, precAnd, false)
+		case "AND":
+			emitChild(v.L, emit, precAnd, false)
+			emit(emitKeyword, v.Op)
+			emitChild(v.R, emit, precNot, false)
+		case "+", "-":
+			emitChild(v.L, emit, precOperand, false)
+			emit(emitKeyword, v.Op)
+			emitChild(v.R, emit, precMul, false)
+		case "*", "/":
+			emitChild(v.L, emit, precMul, false)
+			emit(emitKeyword, v.Op)
+			// `*` doubles as the star token: the parser only reads it as
+			// multiplication when the next token is not a keyword.
+			emitChild(v.R, emit, precAtom, v.Op == "*")
+		default: // comparisons
+			emitChild(v.L, emit, precOperand, false)
+			emit(emitKeyword, v.Op)
+			emitChild(v.R, emit, precOperand, false)
+		}
 	case *Not:
 		emit(emitKeyword, "NOT")
-		emitExpr(v.E, emit)
+		// The parser's NOT-prefix rule only fires when the next token is not
+		// a keyword, and it cannot chain (`NOT NOT x` needs parens).
+		emitChild(v.E, emit, precPredicate, true)
 	case *Between:
-		emitExpr(v.E, emit)
+		emitChild(v.E, emit, precOperand, false)
 		if v.Negate {
 			emit(emitKeyword, "NOT BETWEEN")
 		} else {
 			emit(emitKeyword, "BETWEEN")
 		}
-		emitExpr(v.Lo, emit)
+		emitChild(v.Lo, emit, precOperand, false)
 		emit(emitKeyword, "AND")
-		emitExpr(v.Hi, emit)
+		emitChild(v.Hi, emit, precOperand, false)
 	case *Like:
-		emitExpr(v.E, emit)
+		emitChild(v.E, emit, precOperand, false)
 		if v.Negate {
 			emit(emitKeyword, "NOT LIKE")
 		} else {
 			emit(emitKeyword, "LIKE")
 		}
-		emitExpr(v.Pattern, emit)
+		emitChild(v.Pattern, emit, precOperand, false)
 	case *In:
-		emitExpr(v.E, emit)
+		emitChild(v.E, emit, precOperand, false)
 		if v.Negate {
 			emit(emitKeyword, "NOT IN")
 		} else {
@@ -197,7 +310,7 @@ func emitExpr(e Expr, emit emitter) {
 				if i > 0 {
 					emit(emitPunct, ",")
 				}
-				emitExpr(it, emit)
+				emitChild(it, emit, precOperand, false)
 			}
 		}
 		emit(emitPunct, ")")
@@ -214,7 +327,7 @@ func emitExpr(e Expr, emit emitter) {
 		emitSelect(v.Sub, emit)
 		emit(emitPunct, ")")
 	case *IsNull:
-		emitExpr(v.E, emit)
+		emitChild(v.E, emit, precOperand, false)
 		if v.Negate {
 			emit(emitKeyword, "IS NOT NULL")
 		} else {
