@@ -1,30 +1,61 @@
 // Command benchmarks regenerates the tables and figures of the PURPLE paper
-// (see DESIGN.md for the per-experiment index).
+// (see DESIGN.md for the per-experiment index), and doubles as the
+// machine-readable performance harness for CI.
 //
 // Usage:
 //
 //	benchmarks -exp table4 -scale 0.2 -limit 200
 //	benchmarks -exp all -workers 8
+//	benchmarks -json [-short]       # executor/engine micro-benchmarks as JSON
+//
+// The -json mode runs the SQL-executor and batch-engine micro-benchmarks
+// through testing.Benchmark and emits one JSON document (ns/op, allocs/op,
+// B/op per benchmark) on stdout — CI uploads it as the BENCH_executor.json
+// artifact so the performance trajectory is recorded per commit. -short
+// skips the corpus-building benchmarks for CI latency; workload sizes are
+// identical either way so short and full numbers stay comparable.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"testing"
 	"time"
 
+	"repro/internal/benchfix"
+	"repro/internal/core"
+	"repro/internal/eval"
 	"repro/internal/exp"
+	"repro/internal/llm"
+	"repro/internal/schema"
+	"repro/internal/spider"
+	"repro/internal/sqlexec"
+	"repro/internal/sqlir"
 )
 
 func main() {
 	var (
-		which   = flag.String("exp", "all", "experiment: table1|table3|table4|table5|table6|fig9|fig10|fig11|fig12|all")
-		scale   = flag.Float64("scale", 0.15, "corpus scale in (0,1]; 1.0 = the paper's full Table 3 sizes")
-		limit   = flag.Int("limit", 0, "cap evaluated examples per run (0 = all)")
-		seed    = flag.Int64("seed", 1, "corpus and pipeline seed")
-		workers = flag.Int("workers", 1, "translation worker pool size (>1 parallelizes; output is identical to -workers 1)")
+		which    = flag.String("exp", "all", "experiment: table1|table3|table4|table5|table6|fig9|fig10|fig11|fig12|all")
+		scale    = flag.Float64("scale", 0.15, "corpus scale in (0,1]; 1.0 = the paper's full Table 3 sizes")
+		limit    = flag.Int("limit", 0, "cap evaluated examples per run (0 = all)")
+		seed     = flag.Int64("seed", 1, "corpus and pipeline seed")
+		workers  = flag.Int("workers", 1, "translation worker pool size (>1 parallelizes; output is identical to -workers 1)")
+		jsonMode = flag.Bool("json", false, "emit executor/engine micro-benchmark results as JSON and exit")
+		short    = flag.Bool("short", false, "with -json: skip the corpus-building benchmarks (exec_ts_metric, engine_batch_translate); workload sizes are unchanged so numbers stay comparable")
 	)
 	flag.Parse()
+
+	if *jsonMode {
+		if err := runJSONBenchmarks(*short); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	start := time.Now()
 	fmt.Fprintf(os.Stderr, "building corpus and training substrate models (scale=%.2f)...\n", *scale)
@@ -57,4 +88,166 @@ func main() {
 	run("fig12", func() string { return env.Figure12(gridOpts) })
 	run("table5", func() string { return env.Table5(opts) })
 	run("table6", func() string { return env.Table6(opts) })
+}
+
+// ---- JSON micro-benchmark mode ----
+
+type benchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+type benchReport struct {
+	GeneratedUnix int64         `json:"generated_unix"`
+	GoVersion     string        `json:"go_version"`
+	GOOS          string        `json:"goos"`
+	GOARCH        string        `json:"goarch"`
+	Short         bool          `json:"short"`
+	Benchmarks    []benchResult `json:"benchmarks"`
+}
+
+func runJSONBenchmarks(short bool) error {
+	// Fixture and sizes shared with internal/sqlexec/bench_test.go: the
+	// artifact must measure exactly the workloads the in-repo benchmarks
+	// measure. -short skips the corpus-building benchmarks rather than
+	// shrinking workloads, so short and full numbers stay comparable.
+	db := benchfix.DB(benchfix.ExecRows)
+	joinHeavy := benchfix.JoinHeavySQL
+	inSub := benchfix.InSubquerySQL
+
+	execBench := func(sql string, opts sqlexec.PlanOptions) func(*testing.B) {
+		sel := sqlir.MustParse(sql)
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sqlexec.ExecOptions(db, sel, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+
+	reexecDB := benchfix.DB(benchfix.ReexecRows)
+	var instances []*schema.Database
+	for i := 0; i < benchfix.ReexecInstances; i++ {
+		instances = append(instances, spider.Reinstantiate(reexecDB, int64(i+1)))
+	}
+	preparedReexec := func(b *testing.B) {
+		b.ReportAllocs()
+		stmt, err := sqlexec.PrepareSQL(reexecDB, joinHeavy)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, inst := range instances {
+				if _, err := stmt.Exec(inst); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	replanReexec := func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, inst := range instances {
+				if _, err := sqlexec.ExecSQL(inst, joinHeavy); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+
+	type namedBench struct {
+		name string
+		fn   func(*testing.B)
+	}
+	benches := []namedBench{
+		{"exec_scan_filter", execBench(benchfix.ScanFilterSQL, sqlexec.PlanOptions{})},
+		{"exec_hash_join", execBench(benchfix.TwoTableSQL, sqlexec.PlanOptions{})},
+		{"exec_nested_loop_join", execBench(benchfix.TwoTableSQL, sqlexec.Unoptimized())},
+		{"exec_join_heavy", execBench(joinHeavy, sqlexec.PlanOptions{})},
+		{"exec_join_heavy_unoptimized", execBench(joinHeavy, sqlexec.Unoptimized())},
+		{"exec_in_subquery_hash", execBench(inSub, sqlexec.PlanOptions{})},
+		{"exec_in_subquery_linear", execBench(inSub, sqlexec.PlanOptions{NoHashSets: true})},
+		{"exec_group_by", execBench(benchfix.GroupBySQL, sqlexec.PlanOptions{})},
+		{"prepared_reexec_ts", preparedReexec},
+		{"replan_reexec_ts", replanReexec},
+	}
+
+	if !short {
+		benches = append(benches,
+			namedBench{"exec_ts_metric", tsMetricBench()},
+			namedBench{"engine_batch_translate", engineBatchBench()},
+		)
+	}
+
+	report := benchReport{
+		GeneratedUnix: time.Now().Unix(),
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		Short:         short,
+	}
+	for _, bn := range benches {
+		fmt.Fprintf(os.Stderr, "running %s...\n", bn.name)
+		r := testing.Benchmark(bn.fn)
+		if r.N == 0 {
+			// testing.Benchmark swallows b.Fatal; a zeroed result means the
+			// benchmark body failed. Fail the run rather than upload a
+			// garbage trajectory point.
+			return fmt.Errorf("benchmark %s failed (zero iterations)", bn.name)
+		}
+		report.Benchmarks = append(report.Benchmarks, benchResult{
+			Name:        bn.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}
+
+// tsMetricBench measures eval.TestSuiteMatch end to end (prepared TS path).
+func tsMetricBench() func(*testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		c := spider.GenerateSmall(123, 0.05)
+		ex := c.Dev.Examples[0]
+		suite := eval.BuildSuite(ex.DB, []*sqlir.Select{ex.Gold}, eval.DefaultSuiteConfig())
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if !eval.TestSuiteMatch(ex.DB, suite, ex.GoldSQL, ex.GoldSQL) {
+				b.Fatal("gold must match itself")
+			}
+		}
+	}
+}
+
+// engineBatchBench measures the concurrent batch-translation engine over a
+// small corpus slice.
+func engineBatchBench() func(*testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		env := exp.NewEnv(1, 0.05)
+		p := env.Purple(llm.ChatGPT)
+		n := 24
+		if n > len(env.Corpus.Dev.Examples) {
+			n = len(env.Corpus.Dev.Examples)
+		}
+		examples := env.Corpus.Dev.Examples[:n]
+		eng := core.NewEngine(p, 4)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := eng.TranslateBatch(context.Background(), examples); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
 }

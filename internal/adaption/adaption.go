@@ -336,6 +336,11 @@ func minInt(a, b, c int) int {
 // adapted (when fix is true), executed, and the first SQL whose execution
 // result agrees with the majority result signature is returned. ok is false
 // when no candidate executes.
+//
+// Candidate execution goes through the shared plan cache: self-consistency
+// sampling routinely yields duplicate candidates within one vote (and
+// identical candidates across repair attempts), so most executions skip
+// parsing and planning.
 func Vote(db *schema.Database, candidates []string, fix bool) (string, bool) {
 	f := &Fixer{DB: db}
 	type entry struct {
@@ -353,7 +358,7 @@ func Vote(db *schema.Database, candidates []string, fix bool) (string, bool) {
 				continue
 			}
 		}
-		res, err := sqlexec.ExecSQL(db, fixed)
+		res, err := sqlexec.Shared.Exec(db, fixed)
 		if err != nil {
 			continue
 		}
@@ -384,18 +389,8 @@ func Vote(db *schema.Database, candidates []string, fix bool) (string, bool) {
 }
 
 // Signature canonically encodes an execution result for consensus voting:
-// rows sorted unless the query ordered them.
+// rows sorted unless the query ordered them (sqlexec's one canonical
+// result encoding).
 func Signature(res *sqlexec.Result) string {
-	rows := make([]string, len(res.Rows))
-	for i, r := range res.Rows {
-		parts := make([]string, len(r))
-		for j, v := range r {
-			parts[j] = strings.ToLower(v.String())
-		}
-		rows[i] = strings.Join(parts, "\x1f")
-	}
-	if !res.Ordered {
-		sort.Strings(rows)
-	}
-	return strings.Join(rows, "\x1e")
+	return strings.Join(res.Canonical(), "\x1e")
 }

@@ -1,0 +1,104 @@
+package eval
+
+import (
+	"testing"
+
+	"repro/internal/schema"
+	"repro/internal/spider"
+	"repro/internal/sqlexec"
+	"repro/internal/sqlir"
+)
+
+// Benchmarks for the hottest repeat-execution loop in the repo: the TS
+// metric re-executes the same gold/pred pair across every distilled
+// database instance. BenchmarkExecTS measures the prepared-statement path
+// (plan once via the shared cache, execute per instance);
+// BenchmarkExecTSUnprepared measures the pre-refactor cost model
+// (parse + plan per instance).
+
+func benchSuite(b *testing.B) (*Suite, *spider.Example) {
+	b.Helper()
+	c := spider.GenerateSmall(123, 0.05)
+	var ex *spider.Example
+	for _, e := range c.Dev.Examples {
+		if len(e.Gold.From.Joins) > 0 {
+			ex = e
+			break
+		}
+	}
+	if ex == nil {
+		ex = c.Dev.Examples[0]
+	}
+	suite := BuildSuite(ex.DB, []*sqlir.Select{ex.Gold}, DefaultSuiteConfig())
+	return suite, ex
+}
+
+func BenchmarkExecTS(b *testing.B) {
+	suite, ex := benchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !TestSuiteMatch(ex.DB, suite, ex.GoldSQL, ex.GoldSQL) {
+			b.Fatal("gold must match itself")
+		}
+	}
+}
+
+func BenchmarkExecTSUnprepared(b *testing.B) {
+	suite, ex := benchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !testSuiteMatchUnprepared(ex.DB, suite, ex.GoldSQL, ex.GoldSQL) {
+			b.Fatal("gold must match itself")
+		}
+	}
+}
+
+// testSuiteMatchUnprepared is the pre-refactor TS path: every execution
+// parses and plans from scratch.
+func testSuiteMatchUnprepared(db *schema.Database, suite *Suite, predSQL, goldSQL string) bool {
+	gres, err := sqlexec.ExecSQL(db, goldSQL)
+	if err != nil {
+		return false
+	}
+	pres, err := sqlexec.ExecSQL(db, predSQL)
+	if err != nil {
+		return false
+	}
+	if !resultsEqual(pres, gres) {
+		return false
+	}
+	for _, inst := range suite.Instances {
+		gres, err := sqlexec.ExecSQL(inst, goldSQL)
+		if err != nil {
+			continue
+		}
+		pres, err := sqlexec.ExecSQL(inst, predSQL)
+		if err != nil {
+			return false
+		}
+		if !resultsEqual(pres, gres) {
+			return false
+		}
+	}
+	return true
+}
+
+// BenchmarkBuildSuite measures distillation itself — probes and mutants are
+// prepared once and re-executed across candidate instances.
+func BenchmarkBuildSuite(b *testing.B) {
+	c := spider.GenerateSmall(123, 0.05)
+	ex := c.Dev.Examples[0]
+	var probes []*sqlir.Select
+	for _, e := range c.Dev.Examples {
+		if e.DB == ex.DB {
+			probes = append(probes, e.Gold)
+		}
+		if len(probes) == 8 {
+			break
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildSuite(ex.DB, probes, DefaultSuiteConfig())
+	}
+}

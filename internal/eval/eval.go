@@ -229,43 +229,47 @@ func aliasMap(sel *sqlir.Select) map[string]string {
 // ExecutionMatch executes both queries on the database and compares results.
 // Row order matters only when the gold query orders its output. The
 // prediction failing to execute never matches (gold always executes).
+// Execution goes through the shared plan cache: the EX metric re-runs the
+// same gold/pred pair across experiments, so compiled plans are hot.
 func ExecutionMatch(db *schema.Database, predSQL, goldSQL string) bool {
-	gres, err := sqlexec.ExecSQL(db, goldSQL)
+	gres, err := sqlexec.Shared.Exec(db, goldSQL)
 	if err != nil {
 		return false
 	}
-	pres, err := sqlexec.ExecSQL(db, predSQL)
+	pres, err := sqlexec.Shared.Exec(db, predSQL)
 	if err != nil {
 		return false
 	}
 	return resultsEqual(pres, gres)
 }
 
+// resultsEqual compares two results under the metric's canonicalization
+// (sqlexec.Result.CanonicalRows); the gold result b decides whether row
+// order is significant. Shape mismatches return before any encoding work.
 func resultsEqual(a, b *sqlexec.Result) bool {
+	if !sameShape(a, b) {
+		return false
+	}
+	return equalsCanonical(a, b, b.Canonical())
+}
+
+func sameShape(a, b *sqlexec.Result) bool {
 	if len(a.Rows) != len(b.Rows) {
 		return false
 	}
-	if len(a.Rows) > 0 && len(a.Rows[0]) != len(b.Rows[0]) {
+	return len(a.Rows) == 0 || len(a.Rows[0]) == len(b.Rows[0])
+}
+
+// equalsCanonical compares a against gold's precomputed canonical rows —
+// hot loops (suite distillation) canonicalize each gold result once and
+// compare many candidates against it.
+func equalsCanonical(a, gold *sqlexec.Result, goldCanon []string) bool {
+	if !sameShape(a, gold) {
 		return false
 	}
-	enc := func(res *sqlexec.Result, ordered bool) []string {
-		rows := make([]string, len(res.Rows))
-		for i, r := range res.Rows {
-			parts := make([]string, len(r))
-			for j, v := range r {
-				parts[j] = strings.ToLower(v.String())
-			}
-			rows[i] = strings.Join(parts, "\x1f")
-		}
-		if !ordered {
-			sort.Strings(rows)
-		}
-		return rows
-	}
-	ordered := b.Ordered // gold decides ordering semantics
-	ra, rb := enc(a, ordered), enc(b, ordered)
+	ra := a.CanonicalRows(gold.Ordered)
 	for i := range ra {
-		if ra[i] != rb[i] {
+		if ra[i] != goldCanon[i] {
 			return false
 		}
 	}

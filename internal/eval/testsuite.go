@@ -34,10 +34,34 @@ func DefaultSuiteConfig() SuiteConfig {
 // BuildSuite distills a test suite for one database. Distillation scores
 // each candidate instance by how many gold-vs-mutant pairs it distinguishes
 // for the provided probe queries and keeps the highest-scoring ones.
+//
+// This is the hottest repeat-execution loop in the repo — every probe and
+// every mutant runs on every candidate instance — so each query is prepared
+// once against the schema (candidates are reinstantiations and share it)
+// and the compiled statement is re-executed per instance.
 func BuildSuite(db *schema.Database, probes []*sqlir.Select, cfg SuiteConfig) *Suite {
 	var cands []*schema.Database
 	for i := 0; i < cfg.Candidates; i++ {
 		cands = append(cands, spider.Reinstantiate(db, cfg.Seed+int64(i)*7919))
+	}
+	type probePlan struct {
+		gold *sqlexec.Stmt // nil when the probe fails to plan
+		muts []*sqlexec.Stmt
+	}
+	plans := make([]probePlan, len(probes))
+	for pi, g := range probes {
+		gstmt, err := sqlexec.Prepare(db, g)
+		if err != nil {
+			continue // gold never executes on any candidate: skip the probe
+		}
+		plans[pi].gold = gstmt
+		for _, m := range mutants(g) {
+			ms, err := sqlexec.Prepare(db, m)
+			if err != nil {
+				ms = nil // always-erroring mutant: distinguishes wherever gold runs
+			}
+			plans[pi].muts = append(plans[pi].muts, ms)
+		}
 	}
 	type scored struct {
 		db    *schema.Database
@@ -47,18 +71,26 @@ func BuildSuite(db *schema.Database, probes []*sqlir.Select, cfg SuiteConfig) *S
 	all := make([]scored, len(cands))
 	for i, cd := range cands {
 		all[i] = scored{db: cd, order: i}
-		for _, g := range probes {
-			gres, err := sqlexec.Exec(cd, g)
+		for _, pp := range plans {
+			if pp.gold == nil {
+				continue
+			}
+			gres, err := pp.gold.Exec(cd)
 			if err != nil {
 				continue
 			}
-			for _, m := range mutants(g) {
-				mres, err := sqlexec.Exec(cd, m)
-				if err != nil {
+			gcanon := gres.Canonical() // once per (probe, candidate), not per mutant
+			for _, ms := range pp.muts {
+				if ms == nil {
 					all[i].score++ // executing differently counts as distinguishing
 					continue
 				}
-				if !resultsEqual(mres, gres) {
+				mres, err := ms.Exec(cd)
+				if err != nil {
+					all[i].score++
+					continue
+				}
+				if !equalsCanonical(mres, gres, gcanon) {
 					all[i].score++
 				}
 			}
@@ -147,16 +179,27 @@ func mutants(g *sqlir.Select) []*sqlir.Select {
 // TestSuiteMatch reports whether the prediction matches the gold on every
 // instance of the suite (plus the original database). One mismatch or
 // execution failure fails the metric.
+//
+// The gold/pred pair is prepared once through the shared plan cache and the
+// compiled statements are re-executed across the distilled instances, which
+// share the original database's schema.
 func TestSuiteMatch(db *schema.Database, suite *Suite, predSQL, goldSQL string) bool {
 	if !ExecutionMatch(db, predSQL, goldSQL) {
 		return false
 	}
+	// Both statements parsed, planned and executed in ExecutionMatch, so
+	// these are cache hits.
+	gstmt, gerr := sqlexec.Shared.Prepare(db, goldSQL)
+	pstmt, perr := sqlexec.Shared.Prepare(db, predSQL)
+	if gerr != nil || perr != nil {
+		return false
+	}
 	for _, inst := range suite.Instances {
-		gres, err := sqlexec.ExecSQL(inst, goldSQL)
+		gres, err := gstmt.Exec(inst)
 		if err != nil {
 			continue // gold not applicable on this instance; skip
 		}
-		pres, err := sqlexec.ExecSQL(inst, predSQL)
+		pres, err := pstmt.Exec(inst)
 		if err != nil {
 			return false
 		}

@@ -5,9 +5,11 @@ package schema
 
 import (
 	"fmt"
+	"hash/fnv"
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 )
 
 // ColType is the column data type.
@@ -143,6 +145,44 @@ type Database struct {
 	Name        string
 	Tables      []*Table
 	ForeignKeys []ForeignKey
+
+	// fp caches Fingerprint (0 = not yet computed). Schemas are immutable
+	// once handed to the execution engine, so the first computed value
+	// stays valid; Clone and Prune build fresh Databases with a clear
+	// cache.
+	fp atomic.Uint64
+}
+
+// Fingerprint hashes the database's structural identity: name, table
+// order, column names and types. Row data is excluded. The execution
+// engine keys prepared-statement reuse on it, so two databases with equal
+// fingerprints must be plan-compatible (the TS metric's reinstantiated
+// instances are the motivating case). The value is computed once and
+// cached; do not mutate the schema after the engine has seen it.
+func (d *Database) Fingerprint() uint64 {
+	if v := d.fp.Load(); v != 0 {
+		return v
+	}
+	h := fnv.New64a()
+	write := func(s string) {
+		h.Write([]byte(s))
+		h.Write([]byte{0})
+	}
+	write(d.Name)
+	for _, t := range d.Tables {
+		write(t.Name)
+		for _, c := range t.Columns {
+			write(c.Name)
+			h.Write([]byte{byte(c.Type)})
+		}
+		h.Write([]byte{1})
+	}
+	v := h.Sum64()
+	if v == 0 {
+		v = 1 // reserve 0 as the "uncomputed" sentinel
+	}
+	d.fp.Store(v)
+	return v
 }
 
 // Table returns the named table, or nil.

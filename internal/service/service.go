@@ -316,14 +316,20 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 }
 
 // StatsResponse reports LLM-cache observability counters (the embedded
-// llm.CacheStats fields flatten into the JSON object) plus, when the job
-// subsystem is enabled, its queue/lifecycle counters.
+// llm.CacheStats fields flatten into the JSON object), the SQL engine's
+// plan-cache counters, plus, when the job subsystem is enabled, its
+// queue/lifecycle counters.
 type StatsResponse struct {
 	CacheEnabled bool `json:"cache_enabled"`
 	llm.CacheStats
-	HitRate     float64        `json:"hit_rate"`
-	JobsEnabled bool           `json:"jobs_enabled"`
-	Jobs        *jobs.Counters `json:"jobs,omitempty"`
+	HitRate float64 `json:"hit_rate"`
+	// PlanCache counts prepared-statement cache hits and misses across
+	// every execution path that uses the shared cache: the EX/TS metrics,
+	// the consistency vote, and /execute.
+	PlanCache        sqlexec.PlanCacheStats `json:"plan_cache"`
+	PlanCacheHitRate float64                `json:"plan_cache_hit_rate"`
+	JobsEnabled      bool                   `json:"jobs_enabled"`
+	Jobs             *jobs.Counters         `json:"jobs,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -338,6 +344,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		out.CacheStats = st
 		out.HitRate = st.HitRate()
 	}
+	out.PlanCache = sqlexec.Shared.Stats()
+	out.PlanCacheHitRate = out.PlanCache.HitRate()
 	if s.jobs != nil {
 		c := s.jobs.Stats()
 		out.JobsEnabled = true
@@ -376,7 +384,9 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "unknown database", http.StatusNotFound)
 		return
 	}
-	res, err := sqlexec.ExecSQL(examples[0].DB, req.SQL)
+	// Prepared through the shared plan cache: repeated dashboard/monitoring
+	// queries against a benchmark database skip parsing and planning.
+	res, err := sqlexec.Shared.Exec(examples[0].DB, req.SQL)
 	if err != nil {
 		writeJSON(w, ExecuteResponse{Error: err.Error()})
 		return

@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/llm"
 	"repro/internal/spider"
+	"repro/internal/sqlexec"
 )
 
 func testServer(t *testing.T) (*httptest.Server, *spider.Corpus) {
@@ -223,6 +224,43 @@ func TestStatsEndpoint(t *testing.T) {
 	}
 	if st.HitRate <= 0 {
 		t.Errorf("hit rate should be positive: %+v", st)
+	}
+}
+
+// TestStatsPlanCacheCounters: repeated /execute of the same SQL must raise
+// the shared plan cache's hit counter, and the counters must surface on
+// /v1/stats. Deltas are asserted because sqlexec.Shared is process-wide.
+func TestStatsPlanCacheCounters(t *testing.T) {
+	srv, c := testServer(t)
+	before := sqlexec.Shared.Stats()
+	dbName := c.Dev.Databases[0].Name
+	table := c.Dev.Databases[0].Tables[0].Name
+	req := ExecuteRequest{Database: dbName, SQL: "SELECT COUNT(*) FROM " + table}
+	var out ExecuteResponse
+	postJSON(t, srv.URL+"/execute", req, &out)
+	postJSON(t, srv.URL+"/execute", req, &out)
+	if out.Error != "" {
+		t.Fatalf("execute error: %s", out.Error)
+	}
+	resp, err := http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	// The second identical /execute is necessarily a hit (the first may
+	// also hit: the shared cache spans the whole process).
+	if st.PlanCache.Hits < before.Hits+1 {
+		t.Errorf("second /execute should hit the plan cache: before %+v after %+v", before, st.PlanCache)
+	}
+	if st.PlanCache.Hits+st.PlanCache.Misses < before.Hits+before.Misses+2 {
+		t.Errorf("both /execute calls should be counted: before %+v after %+v", before, st.PlanCache)
+	}
+	if st.PlanCache.Capacity <= 0 {
+		t.Errorf("plan cache capacity missing from stats: %+v", st.PlanCache)
 	}
 }
 

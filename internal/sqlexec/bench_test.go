@@ -1,88 +1,129 @@
 package sqlexec
 
 import (
-	"fmt"
-	"math/rand"
 	"testing"
 
+	"repro/internal/benchfix"
 	"repro/internal/schema"
+	"repro/internal/spider"
 	"repro/internal/sqlir"
 )
 
 // Engine micro-benchmarks: the EX/TS metrics and consistency voting execute
 // tens of thousands of queries per experiment, so per-query latency is the
-// harness's dominant cost.
+// harness's dominant cost. The *Unoptimized / *NestedLoop / *Replan
+// variants measure the same workload with the optimizer rule (or the
+// prepared-statement layer) switched off, so the speedup of each rewrite is
+// directly visible in the numbers.
+//
+// The fixture (database shape and workload SQL) lives in internal/benchfix,
+// shared with cmd/benchmarks -json so the CI-uploaded BENCH_executor.json
+// measures exactly these workloads.
 
-func benchDB(rows int) *schema.Database {
-	rng := rand.New(rand.NewSource(7))
-	parent := &schema.Table{
-		Name: "p", PrimaryKey: "id",
-		Columns: []schema.Column{
-			{Name: "id", Type: schema.TypeNumber},
-			{Name: "name", Type: schema.TypeText},
-			{Name: "grade", Type: schema.TypeNumber},
-		},
-	}
-	for i := 0; i < rows/4+1; i++ {
-		parent.Rows = append(parent.Rows, []schema.Value{
-			schema.N(float64(i + 1)),
-			schema.S(fmt.Sprintf("name%d", i%17)),
-			schema.N(float64(rng.Intn(10))),
-		})
-	}
-	child := &schema.Table{
-		Name: "c", PrimaryKey: "id",
-		Columns: []schema.Column{
-			{Name: "id", Type: schema.TypeNumber},
-			{Name: "p_id", Type: schema.TypeNumber},
-			{Name: "val", Type: schema.TypeNumber},
-		},
-	}
-	for i := 0; i < rows; i++ {
-		child.Rows = append(child.Rows, []schema.Value{
-			schema.N(float64(i + 1)),
-			schema.N(float64(1 + rng.Intn(len(parent.Rows)))),
-			schema.N(float64(rng.Intn(1000))),
-		})
-	}
-	return &schema.Database{
-		Name:   "bench",
-		Tables: []*schema.Table{parent, child},
-		ForeignKeys: []schema.ForeignKey{
-			{FromTable: "c", FromColumn: "p_id", ToTable: "p", ToColumn: "id"},
-		},
-	}
-}
-
-func benchExec(b *testing.B, rows int, sql string) {
-	db := benchDB(rows)
+func benchExecOpts(b *testing.B, rows int, sql string, opts PlanOptions) {
+	db := benchfix.DB(rows)
 	sel := sqlir.MustParse(sql)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Exec(db, sel); err != nil {
+		if _, err := ExecOptions(db, sel, opts); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
+func benchExec(b *testing.B, rows int, sql string) {
+	benchExecOpts(b, rows, sql, PlanOptions{})
+}
+
 func BenchmarkExecScanFilter(b *testing.B) {
-	benchExec(b, 1000, "SELECT val FROM c WHERE val > 500")
+	benchExec(b, benchfix.ExecRows, benchfix.ScanFilterSQL)
 }
 
 func BenchmarkExecHashJoin(b *testing.B) {
-	benchExec(b, 1000, "SELECT T1.val FROM c AS T1 JOIN p AS T2 ON T1.p_id = T2.id WHERE T2.grade > 5")
+	benchExec(b, benchfix.ExecRows, benchfix.TwoTableSQL)
+}
+
+func BenchmarkExecNestedLoopJoin(b *testing.B) {
+	benchExecOpts(b, benchfix.ExecRows, benchfix.TwoTableSQL, Unoptimized())
+}
+
+func BenchmarkExecJoinHeavy(b *testing.B) {
+	benchExec(b, benchfix.ExecRows, benchfix.JoinHeavySQL)
+}
+
+func BenchmarkExecJoinHeavyUnoptimized(b *testing.B) {
+	benchExecOpts(b, benchfix.ExecRows, benchfix.JoinHeavySQL, Unoptimized())
 }
 
 func BenchmarkExecGroupBy(b *testing.B) {
-	benchExec(b, 1000, "SELECT name, COUNT(*) FROM p GROUP BY name HAVING COUNT(*) > 2")
+	benchExec(b, benchfix.ExecRows, benchfix.GroupBySQL)
 }
 
 func BenchmarkExecSetOp(b *testing.B) {
-	benchExec(b, 1000, "SELECT name FROM p WHERE grade > 5 EXCEPT SELECT name FROM p WHERE grade < 3")
+	benchExec(b, benchfix.ExecRows, benchfix.SetOpSQL)
 }
 
 func BenchmarkExecSubquery(b *testing.B) {
-	benchExec(b, 1000, "SELECT name FROM p WHERE grade = (SELECT MAX(grade) FROM p)")
+	benchExec(b, benchfix.ExecRows, benchfix.ScalarSubSQL)
+}
+
+func BenchmarkExecInSubqueryHash(b *testing.B) {
+	benchExec(b, benchfix.ExecRows, benchfix.InSubquerySQL)
+}
+
+func BenchmarkExecInSubqueryLinear(b *testing.B) {
+	benchExecOpts(b, benchfix.ExecRows, benchfix.InSubquerySQL, PlanOptions{NoHashSets: true})
+}
+
+// BenchmarkPreparedReexec is the TS-metric shape: one statement executed
+// across many reinstantiated database instances.
+func BenchmarkPreparedReexec(b *testing.B) {
+	db := benchfix.DB(benchfix.ReexecRows)
+	var instances []*schema.Database
+	for i := 0; i < benchfix.ReexecInstances; i++ {
+		instances = append(instances, spider.Reinstantiate(db, int64(i+1)))
+	}
+	stmt, err := PrepareSQL(db, benchfix.JoinHeavySQL)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, inst := range instances {
+			if _, err := stmt.Exec(inst); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkReplanReexec is the same workload without the prepared layer:
+// parse + plan per instance, the pre-refactor cost model.
+func BenchmarkReplanReexec(b *testing.B) {
+	db := benchfix.DB(benchfix.ReexecRows)
+	var instances []*schema.Database
+	for i := 0; i < benchfix.ReexecInstances; i++ {
+		instances = append(instances, spider.Reinstantiate(db, int64(i+1)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, inst := range instances {
+			if _, err := ExecSQL(inst, benchfix.JoinHeavySQL); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkPrepare(b *testing.B) {
+	db := benchfix.DB(100)
+	sel := sqlir.MustParse(benchfix.JoinHeavySQL)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Prepare(db, sel); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 func BenchmarkParse(b *testing.B) {

@@ -16,9 +16,13 @@ import (
 // This file is the executor's differential oracle: a deliberately naive
 // reference evaluator (nested-loop joins, re-executed subqueries, linear
 // scans, sort-based dedup — no hash joins, no memoization, no working-set
-// reuse) plus tests asserting Exec and the reference produce identical
-// results on every corpus gold query and on hundreds of randomized queries.
-// Future executor optimizations must keep beating this oracle.
+// reuse) plus tests asserting the engine and the reference produce
+// identical results on every corpus gold query and on hundreds of
+// randomized queries. Every query runs through BOTH physical paths — the
+// fully optimized plan (hash joins, pushdown, hash IN sets, folding) and
+// the Unoptimized() plan (forced nested loops, no rewrites) — and each must
+// agree with the reference. Future executor optimizations must keep beating
+// this oracle.
 
 // ---- reference evaluator ----
 
@@ -886,6 +890,12 @@ func renderRows(res *Result) []string {
 
 // sameResult compares engine and reference output: identical columns,
 // identical row sequences when ordered, identical row multisets otherwise.
+// Rows are compared twice: through the engine's one canonical encoding
+// (Result.CanonicalRows — the encoding the EX/TS metrics and the
+// consistency vote use, so metric-visible divergence is caught in the
+// metric's own terms) and exactly (raw v.String() cells), so a physical
+// path returning a case-different representative row still fails the
+// oracle.
 func sameResult(got, want *Result) string {
 	if got.Ordered != want.Ordered {
 		return fmt.Sprintf("ordered flag %v vs %v", got.Ordered, want.Ordered)
@@ -898,11 +908,7 @@ func sameResult(got, want *Result) string {
 			return fmt.Sprintf("column %d name %q vs %q", i, got.Cols[i], want.Cols[i])
 		}
 	}
-	g, w := renderRows(got), renderRows(want)
-	if !got.Ordered {
-		sort.Strings(g)
-		sort.Strings(w)
-	}
+	g, w := got.CanonicalRows(got.Ordered), want.CanonicalRows(got.Ordered)
 	if len(g) != len(w) {
 		return fmt.Sprintf("row count %d vs %d", len(g), len(w))
 	}
@@ -911,26 +917,55 @@ func sameResult(got, want *Result) string {
 			return fmt.Sprintf("row %d: %q vs %q", i, g[i], w[i])
 		}
 	}
+	ge, we := renderRows(got), renderRows(want)
+	if !got.Ordered {
+		sort.Strings(ge)
+		sort.Strings(we)
+	}
+	for i := range ge {
+		if ge[i] != we[i] {
+			return fmt.Sprintf("row %d (exact): %q vs %q", i, ge[i], we[i])
+		}
+	}
 	return ""
 }
 
+// diffOne runs one query through the optimized plan, the forced
+// nested-loop/unoptimized plan, and the reference evaluator, and demands
+// three-way agreement on both errors and results.
 func diffOne(t *testing.T, db *schema.Database, sel *sqlir.Select) (ok, executed bool) {
 	t.Helper()
-	got, gotErr := Exec(db, sel)
 	want, wantErr := refExec(db, sel)
-	sql := sqlir.String(sel)
-	if (gotErr == nil) != (wantErr == nil) {
-		t.Errorf("error disagreement on %q\n  engine: %v\n  ref:    %v", sql, gotErr, wantErr)
-		return false, false
+	sql := ""
+	lazySQL := func() string {
+		if sql == "" {
+			sql = sqlir.String(sel)
+		}
+		return sql
 	}
-	if gotErr != nil {
-		return true, false
+	ok = true
+	for _, path := range []struct {
+		name string
+		opts PlanOptions
+	}{
+		{"optimized", PlanOptions{}},
+		{"nested-loop", Unoptimized()},
+	} {
+		got, gotErr := ExecOptions(db, sel, path.opts)
+		if (gotErr == nil) != (wantErr == nil) {
+			t.Errorf("[%s] error disagreement on %q\n  engine: %v\n  ref:    %v", path.name, lazySQL(), gotErr, wantErr)
+			ok = false
+			continue
+		}
+		if gotErr != nil {
+			continue
+		}
+		if msg := sameResult(got, want); msg != "" {
+			t.Errorf("[%s] result divergence on %q (db %s): %s", path.name, lazySQL(), db.Name, msg)
+			ok = false
+		}
 	}
-	if msg := sameResult(got, want); msg != "" {
-		t.Errorf("result divergence on %q (db %s): %s", sql, db.Name, msg)
-		return false, true
-	}
-	return true, true
+	return ok, wantErr == nil
 }
 
 // TestDifferentialGoldQueries runs every gold query the sampler produces
@@ -1161,6 +1196,51 @@ func (g *qgen) query() *sqlir.Select {
 		}
 	}
 	return sel
+}
+
+// TestDifferentialDirectedCases covers corners the random generator does
+// not reach: IN lists with non-literal, error-capable members (evaluation
+// order of the member list is observable through errors) and bare-column
+// predicates (boolean-context errors interacting with pushdown).
+func TestDifferentialDirectedCases(t *testing.T) {
+	c := spider.GenerateSmall(123, 0.08)
+	for _, db := range c.Dev.Databases {
+		var numCol, strCol string
+		tbl := db.Tables[0]
+		for _, col := range tbl.Columns {
+			if col.Type == schema.TypeNumber && numCol == "" {
+				numCol = col.Name
+			}
+			if col.Type == schema.TypeText && strCol == "" {
+				strCol = col.Name
+			}
+		}
+		if numCol == "" || strCol == "" {
+			continue
+		}
+		mk := func(where sqlir.Expr) *sqlir.Select {
+			sel := sqlir.NewSelect()
+			sel.Items = []sqlir.SelectItem{{Expr: &sqlir.ColumnRef{Column: numCol}}}
+			sel.From = sqlir.From{Base: sqlir.TableRef{Table: tbl.Name}}
+			sel.Where = where
+			return sel
+		}
+		num := &sqlir.ColumnRef{Column: numCol}
+		str := &sqlir.ColumnRef{Column: strCol}
+		cases := []*sqlir.Select{
+			// Self-match first, erroring member second: the error must
+			// still surface (the member list is fully evaluated).
+			mk(&sqlir.In{E: num, List: []sqlir.Expr{num, &sqlir.Binary{Op: "+", L: str, R: &sqlir.Literal{Num: 1}}}}),
+			// Non-literal but clean members.
+			mk(&sqlir.In{E: num, List: []sqlir.Expr{num, &sqlir.Binary{Op: "*", L: num, R: &sqlir.Literal{Num: 2}}}}),
+			// Bare column as a predicate: boolean-context error.
+			mk(num),
+			mk(&sqlir.Binary{Op: "AND", L: &sqlir.Binary{Op: ">", L: num, R: &sqlir.Literal{Num: -1}}, R: str}),
+		}
+		for _, sel := range cases {
+			diffOne(t, db, sel)
+		}
+	}
 }
 
 // TestDifferentialRandomQueries is the acceptance gate: ≥500 randomized

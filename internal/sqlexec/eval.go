@@ -8,54 +8,159 @@ import (
 	"repro/internal/sqlir"
 )
 
-// evalValue evaluates a scalar expression against one row.
-func (e *executor) evalValue(ex sqlir.Expr, bindings []binding, row []schema.Value) (schema.Value, error) {
+// This file compiles sqlir expressions into closures bound to resolved
+// column positions. Compilation happens once per plan; execution then pays
+// neither name resolution nor AST dispatch per row. Closures capture only
+// extracted values (operators, literals, column positions, sub-plans) —
+// never AST nodes — so a compiled plan is immune to later AST mutation
+// (the adaption module rewrites ASTs in place between executions).
+//
+// Laziness contract: a resolution failure or dialect error discovered at
+// compile time becomes a closure that returns the error when (and only
+// when) the expression would have been evaluated by the old tree-walker.
+// Short-circuiting AND/OR, empty relations and empty groups therefore
+// suppress exactly the errors they used to suppress.
+//
+// Constant folding: a subtree built solely from literals and non-erroring
+// operators is evaluated once at compile time and replaced by a constant
+// closure. Subtrees whose evaluation errors (e.g. 'a'+1) are NOT folded
+// into eager errors — they keep a lazy closure, preserving the contract
+// above. (1/0 folds to NULL: division by zero is not an error in this
+// dialect.)
+
+// rowVal evaluates a scalar against one row of the working relation.
+type rowVal func(ctx *execCtx, row []schema.Value) (schema.Value, error)
+
+// rowBool evaluates a boolean against one row.
+type rowBool func(ctx *execCtx, row []schema.Value) (bool, error)
+
+// groupVal evaluates a scalar over a group of rows (aggregate context).
+type groupVal func(ctx *execCtx, group [][]schema.Value) (schema.Value, error)
+
+// groupBool evaluates a HAVING-style boolean over a group.
+type groupBool func(ctx *execCtx, group [][]schema.Value) (bool, error)
+
+func rowErrFn(err error) rowVal {
+	return func(*execCtx, []schema.Value) (schema.Value, error) { return schema.Null(), err }
+}
+
+func rowBoolErrFn(err error) rowBool {
+	return func(*execCtx, []schema.Value) (bool, error) { return false, err }
+}
+
+func groupErrFn(err error) groupVal {
+	return func(*execCtx, [][]schema.Value) (schema.Value, error) { return schema.Null(), err }
+}
+
+func constVal(v schema.Value) rowVal {
+	return func(*execCtx, []schema.Value) (schema.Value, error) { return v, nil }
+}
+
+func constBool(b bool) rowBool {
+	return func(*execCtx, []schema.Value) (bool, error) { return b, nil }
+}
+
+// compiler compiles expressions for one SELECT scope.
+type compiler struct {
+	pc       *planCtx
+	bindings []binding // full binding list for name resolution
+	colMap   []int     // full binding index -> row position in this scope
+	depth    int       // static nesting depth, threaded into sub-plans
+}
+
+// subPlan plans a nested SELECT with deferred errors.
+func (c *compiler) subPlan(sel *sqlir.Select) *selectPlan {
+	return c.pc.nested(sel, c.depth+1)
+}
+
+// fold evaluates a pure value closure once and returns a constant closure;
+// an erroring fold keeps the lazy original.
+func (c *compiler) fold(fn rowVal, pure bool) (rowVal, bool) {
+	if !pure || c.pc.opts.NoFold {
+		return fn, false
+	}
+	v, err := fn(nil, nil)
+	if err != nil {
+		return fn, false
+	}
+	return constVal(v), true
+}
+
+func (c *compiler) foldBool(fn rowBool, pure bool) (rowBool, bool) {
+	if !pure || c.pc.opts.NoFold {
+		return fn, false
+	}
+	b, err := fn(nil, nil)
+	if err != nil {
+		return fn, false
+	}
+	return constBool(b), true
+}
+
+// valueFn compiles a scalar row-context expression; the second result
+// reports a folded constant.
+func (c *compiler) valueFn(ex sqlir.Expr) (rowVal, bool) {
 	switch v := ex.(type) {
 	case *sqlir.ColumnRef:
-		i, err := resolveCol(v, bindings)
+		fi, err := resolveCol(v, c.bindings)
 		if err != nil {
-			return schema.Null(), err
+			return rowErrFn(err), false
 		}
-		return row[i], nil
+		idx := c.colMap[fi]
+		if idx < 0 {
+			return rowErrFn(fmt.Errorf("sqlexec: internal: column %s pruned from layout", v.Column)), false
+		}
+		return func(_ *execCtx, row []schema.Value) (schema.Value, error) {
+			return row[idx], nil
+		}, false
 	case *sqlir.Literal:
 		if v.IsString {
-			return schema.S(v.Str), nil
+			return c.fold(constVal(schema.S(v.Str)), true)
 		}
-		return schema.N(v.Num), nil
+		return c.fold(constVal(schema.N(v.Num)), true)
 	case *sqlir.Binary:
 		switch v.Op {
 		case "+", "-", "*", "/":
-			l, err := e.evalValue(v.L, bindings, row)
-			if err != nil {
-				return schema.Null(), err
+			lf, lp := c.valueFn(v.L)
+			rf, rp := c.valueFn(v.R)
+			op := v.Op
+			fn := func(ctx *execCtx, row []schema.Value) (schema.Value, error) {
+				l, err := lf(ctx, row)
+				if err != nil {
+					return schema.Null(), err
+				}
+				r, err := rf(ctx, row)
+				if err != nil {
+					return schema.Null(), err
+				}
+				return arith(op, l, r)
 			}
-			r, err := e.evalValue(v.R, bindings, row)
-			if err != nil {
-				return schema.Null(), err
-			}
-			return arith(v.Op, l, r)
+			return c.fold(fn, lp && rp)
 		default:
-			ok, err := e.evalBool(ex, bindings, row)
-			if err != nil {
-				return schema.Null(), err
-			}
-			if ok {
-				return schema.N(1), nil
-			}
-			return schema.N(0), nil
+			return c.boolAsValue(ex)
 		}
 	case *sqlir.Subquery:
-		return e.scalarSubquery(v.Sel)
+		sub := c.subPlan(v.Sel)
+		return func(ctx *execCtx, _ []schema.Value) (schema.Value, error) {
+			return scalarSub(ctx, sub)
+		}, false
 	case *sqlir.Agg:
 		if !sqlir.AggFuncs[v.Fn] {
-			return schema.Null(), fmt.Errorf("%w: %s", ErrUnknownFunction, v.Fn)
+			return rowErrFn(fmt.Errorf("%w: %s", ErrUnknownFunction, v.Fn)), false
 		}
-		// A bare aggregate over a row context aggregates the whole relation;
-		// callers route aggregate selects through group evaluation, so an
-		// aggregate reaching here is an error in non-aggregate context.
-		return schema.Null(), fmt.Errorf("sqlexec: aggregate %s in row context", v.Fn)
+		// Callers route aggregate selects through group evaluation, so an
+		// aggregate reaching row context is an error.
+		return rowErrFn(fmt.Errorf("sqlexec: aggregate %s in row context", v.Fn)), false
 	default:
-		ok, err := e.evalBool(ex, bindings, row)
+		return c.boolAsValue(ex)
+	}
+}
+
+// boolAsValue adapts a boolean expression into 1/0 value context.
+func (c *compiler) boolAsValue(ex sqlir.Expr) (rowVal, bool) {
+	bf, pure := c.boolFn(ex)
+	fn := func(ctx *execCtx, row []schema.Value) (schema.Value, error) {
+		ok, err := bf(ctx, row)
 		if err != nil {
 			return schema.Null(), err
 		}
@@ -64,7 +169,501 @@ func (e *executor) evalValue(ex sqlir.Expr, bindings []binding, row []schema.Val
 		}
 		return schema.N(0), nil
 	}
+	return c.fold(fn, pure)
 }
+
+// boolFn compiles a boolean row-context expression.
+func (c *compiler) boolFn(ex sqlir.Expr) (rowBool, bool) {
+	switch v := ex.(type) {
+	case *sqlir.Binary:
+		switch v.Op {
+		case "AND", "OR":
+			lf, lp := c.boolFn(v.L)
+			rf, rp := c.boolFn(v.R)
+			and := v.Op == "AND"
+			// Short-circuit folding: a constant left side either decides the
+			// result or reduces to the right side (whose errors the old
+			// walker would then surface identically).
+			if lp && !c.pc.opts.NoFold {
+				lv, _ := lf(nil, nil)
+				if and != lv { // AND false / OR true: decided
+					return constBool(lv), true
+				}
+				return rf, rp
+			}
+			fn := func(ctx *execCtx, row []schema.Value) (bool, error) {
+				l, err := lf(ctx, row)
+				if err != nil {
+					return false, err
+				}
+				if and && !l {
+					return false, nil
+				}
+				if !and && l {
+					return true, nil
+				}
+				return rf(ctx, row)
+			}
+			return c.foldBool(fn, lp && rp)
+		case "=", "!=", "<", "<=", ">", ">=":
+			lf, lp := c.valueFn(v.L)
+			rf, rp := c.valueFn(v.R)
+			op := v.Op
+			fn := func(ctx *execCtx, row []schema.Value) (bool, error) {
+				l, err := lf(ctx, row)
+				if err != nil {
+					return false, err
+				}
+				r, err := rf(ctx, row)
+				if err != nil {
+					return false, err
+				}
+				return compare(op, l, r), nil
+			}
+			return c.foldBool(fn, lp && rp)
+		default:
+			return rowBoolErrFn(fmt.Errorf("sqlexec: unexpected operator %q in boolean context", v.Op)), false
+		}
+	case *sqlir.Not:
+		ef, p := c.boolFn(v.E)
+		fn := func(ctx *execCtx, row []schema.Value) (bool, error) {
+			b, err := ef(ctx, row)
+			return !b, err
+		}
+		return c.foldBool(fn, p)
+	case *sqlir.Between:
+		xf, xp := c.valueFn(v.E)
+		lof, lop := c.valueFn(v.Lo)
+		hif, hip := c.valueFn(v.Hi)
+		neg := v.Negate
+		fn := func(ctx *execCtx, row []schema.Value) (bool, error) {
+			x, err := xf(ctx, row)
+			if err != nil {
+				return false, err
+			}
+			lo, err := lof(ctx, row)
+			if err != nil {
+				return false, err
+			}
+			hi, err := hif(ctx, row)
+			if err != nil {
+				return false, err
+			}
+			in := !x.IsNull() && x.Compare(lo) >= 0 && x.Compare(hi) <= 0
+			return in != neg, nil
+		}
+		return c.foldBool(fn, xp && lop && hip)
+	case *sqlir.Like:
+		xf, xp := c.valueFn(v.E)
+		pf, pp := c.valueFn(v.Pattern)
+		neg := v.Negate
+		fn := func(ctx *execCtx, row []schema.Value) (bool, error) {
+			x, err := xf(ctx, row)
+			if err != nil {
+				return false, err
+			}
+			p, err := pf(ctx, row)
+			if err != nil {
+				return false, err
+			}
+			return likeMatch(x.String(), p.String()) != neg, nil
+		}
+		return c.foldBool(fn, xp && pp)
+	case *sqlir.In:
+		return c.inFn(v)
+	case *sqlir.Exists:
+		sub := c.subPlan(v.Sub)
+		neg := v.Negate
+		return func(ctx *execCtx, _ []schema.Value) (bool, error) {
+			res, err := ctx.execSub(sub)
+			if err != nil {
+				return false, err
+			}
+			return (len(res.Rows) > 0) != neg, nil
+		}, false
+	case *sqlir.IsNull:
+		xf, xp := c.valueFn(v.E)
+		neg := v.Negate
+		fn := func(ctx *execCtx, row []schema.Value) (bool, error) {
+			x, err := xf(ctx, row)
+			if err != nil {
+				return false, err
+			}
+			return x.IsNull() != neg, nil
+		}
+		return c.foldBool(fn, xp)
+	case *sqlir.Literal:
+		if v.IsString {
+			return constBool(v.Str != ""), !c.pc.opts.NoFold
+		}
+		return constBool(v.Num != 0), !c.pc.opts.NoFold
+	default:
+		return rowBoolErrFn(fmt.Errorf("sqlexec: expression %T not valid in boolean context", ex)), false
+	}
+}
+
+// inFn compiles IN: hash semi-join over an uncorrelated subquery or a
+// literal value list; per-row linear membership otherwise (and under
+// NoHashSets).
+func (c *compiler) inFn(v *sqlir.In) (rowBool, bool) {
+	xf, xp := c.valueFn(v.E)
+	neg := v.Negate
+	if v.Sub != nil {
+		sub := c.subPlan(v.Sub)
+		if c.pc.opts.NoHashSets {
+			return func(ctx *execCtx, row []schema.Value) (bool, error) {
+				x, err := xf(ctx, row)
+				if err != nil {
+					return false, err
+				}
+				found, err := linearInSub(ctx, sub, x)
+				return found != neg, err
+			}, false
+		}
+		return func(ctx *execCtx, row []schema.Value) (bool, error) {
+			x, err := xf(ctx, row)
+			if err != nil {
+				return false, err
+			}
+			set, err := ctx.memberSet(sub)
+			if err != nil {
+				return false, err
+			}
+			if set == nil || isNaNVal(x) {
+				// NaN in the probe or members: only linear Equal expresses
+				// its non-hashable equality semantics.
+				found, err := linearInSub(ctx, sub, x)
+				return found != neg, err
+			}
+			return set[valueKey(x)] != neg, nil
+		}, false
+	}
+	allLit := true
+	for _, it := range v.List {
+		if _, ok := it.(*sqlir.Literal); !ok {
+			allLit = false
+			break
+		}
+	}
+	if allLit && !c.pc.opts.NoHashSets {
+		members := make([]schema.Value, 0, len(v.List))
+		set := make(map[string]bool, len(v.List))
+		for _, it := range v.List {
+			lit := it.(*sqlir.Literal)
+			m := schema.N(lit.Num)
+			if lit.IsString {
+				m = schema.S(lit.Str)
+			}
+			members = append(members, m)
+			set[valueKey(m)] = true // literals are finite, never NaN
+		}
+		fn := func(ctx *execCtx, row []schema.Value) (bool, error) {
+			x, err := xf(ctx, row)
+			if err != nil {
+				return false, err
+			}
+			if isNaNVal(x) {
+				// A NaN probe (overflow arithmetic) equals every number
+				// under Equal; only the linear scan expresses that.
+				found := false
+				for _, m := range members {
+					if x.Equal(m) {
+						found = true
+						break
+					}
+				}
+				return found != neg, nil
+			}
+			return set[valueKey(x)] != neg, nil
+		}
+		return c.foldBool(fn, xp)
+	}
+	var memberFns []rowVal
+	for _, it := range v.List {
+		mf, _ := c.valueFn(it)
+		memberFns = append(memberFns, mf)
+	}
+	return func(ctx *execCtx, row []schema.Value) (bool, error) {
+		x, err := xf(ctx, row)
+		if err != nil {
+			return false, err
+		}
+		// Evaluate every member before the membership scan: the old
+		// tree-walker materialized the full list first, so an evaluation
+		// error in a later member surfaces even when an earlier member
+		// already matches.
+		members := make([]schema.Value, len(memberFns))
+		for i, mf := range memberFns {
+			m, err := mf(ctx, row)
+			if err != nil {
+				return false, err
+			}
+			members[i] = m
+		}
+		found := false
+		for _, m := range members {
+			if x.Equal(m) {
+				found = true
+				break
+			}
+		}
+		return found != neg, nil
+	}, false
+}
+
+// linearInSub is the Equal-faithful IN membership test over a subquery's
+// first column — the semantics of record; the hash semi-join must agree
+// with it and degrades to it around NaN.
+func linearInSub(ctx *execCtx, sub *selectPlan, x schema.Value) (bool, error) {
+	res, err := ctx.execSub(sub)
+	if err != nil {
+		return false, err
+	}
+	for _, r := range res.Rows {
+		if len(r) > 0 && x.Equal(r[0]) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// scalarSub executes a subquery expected to yield a single scalar.
+func scalarSub(ctx *execCtx, p *selectPlan) (schema.Value, error) {
+	res, err := ctx.execSub(p)
+	if err != nil {
+		return schema.Null(), err
+	}
+	if len(res.Rows) == 0 || len(res.Rows[0]) == 0 {
+		return schema.Null(), nil
+	}
+	return res.Rows[0][0], nil
+}
+
+// groupValueFn compiles an expression over a group of rows (aggregate
+// context). Non-aggregate column references take the value from the first
+// row of the group (they are grouping keys in well-formed SQL); an empty
+// group yields NULL for anything but a literal — including for expressions
+// whose evaluation would error, matching the lazy tree-walker.
+func (c *compiler) groupValueFn(ex sqlir.Expr) groupVal {
+	switch v := ex.(type) {
+	case *sqlir.Agg:
+		return c.aggFn(v)
+	case *sqlir.ColumnRef:
+		fi, err := resolveCol(v, c.bindings)
+		idx := -1
+		if err == nil {
+			idx = c.colMap[fi]
+			if idx < 0 {
+				err = fmt.Errorf("sqlexec: internal: column %s pruned from layout", v.Column)
+			}
+		}
+		return func(_ *execCtx, group [][]schema.Value) (schema.Value, error) {
+			if len(group) == 0 {
+				return schema.Null(), nil
+			}
+			if err != nil {
+				return schema.Null(), err
+			}
+			return group[0][idx], nil
+		}
+	case *sqlir.Literal:
+		var val schema.Value
+		if v.IsString {
+			val = schema.S(v.Str)
+		} else {
+			val = schema.N(v.Num)
+		}
+		return func(*execCtx, [][]schema.Value) (schema.Value, error) { return val, nil }
+	case *sqlir.Subquery:
+		sub := c.subPlan(v.Sel)
+		return func(ctx *execCtx, group [][]schema.Value) (schema.Value, error) {
+			if len(group) == 0 {
+				return schema.Null(), nil
+			}
+			return scalarSub(ctx, sub)
+		}
+	case *sqlir.Binary:
+		switch v.Op {
+		case "+", "-", "*", "/":
+			lf := c.groupValueFn(v.L)
+			rf := c.groupValueFn(v.R)
+			op := v.Op
+			return func(ctx *execCtx, group [][]schema.Value) (schema.Value, error) {
+				l, err := lf(ctx, group)
+				if err != nil {
+					return schema.Null(), err
+				}
+				r, err := rf(ctx, group)
+				if err != nil {
+					return schema.Null(), err
+				}
+				return arith(op, l, r)
+			}
+		}
+		bf := c.groupBoolFn(ex)
+		return func(ctx *execCtx, group [][]schema.Value) (schema.Value, error) {
+			ok, err := bf(ctx, group)
+			if err != nil {
+				return schema.Null(), err
+			}
+			if ok {
+				return schema.N(1), nil
+			}
+			return schema.N(0), nil
+		}
+	default:
+		rf, _ := c.valueFn(ex)
+		return func(ctx *execCtx, group [][]schema.Value) (schema.Value, error) {
+			if len(group) == 0 {
+				return schema.Null(), nil
+			}
+			return rf(ctx, group[0])
+		}
+	}
+}
+
+// groupBoolFn compiles a HAVING-style boolean over a group.
+func (c *compiler) groupBoolFn(ex sqlir.Expr) groupBool {
+	switch v := ex.(type) {
+	case *sqlir.Binary:
+		switch v.Op {
+		case "AND", "OR":
+			lf := c.groupBoolFn(v.L)
+			rf := c.groupBoolFn(v.R)
+			and := v.Op == "AND"
+			return func(ctx *execCtx, group [][]schema.Value) (bool, error) {
+				l, err := lf(ctx, group)
+				if err != nil {
+					return false, err
+				}
+				if and && !l {
+					return false, nil
+				}
+				if !and && l {
+					return true, nil
+				}
+				return rf(ctx, group)
+			}
+		case "=", "!=", "<", "<=", ">", ">=":
+			lf := c.groupValueFn(v.L)
+			rf := c.groupValueFn(v.R)
+			op := v.Op
+			return func(ctx *execCtx, group [][]schema.Value) (bool, error) {
+				l, err := lf(ctx, group)
+				if err != nil {
+					return false, err
+				}
+				r, err := rf(ctx, group)
+				if err != nil {
+					return false, err
+				}
+				return compare(op, l, r), nil
+			}
+		}
+		err := fmt.Errorf("sqlexec: unexpected operator %q in HAVING", v.Op)
+		return func(*execCtx, [][]schema.Value) (bool, error) { return false, err }
+	case *sqlir.Not:
+		ef := c.groupBoolFn(v.E)
+		return func(ctx *execCtx, group [][]schema.Value) (bool, error) {
+			b, err := ef(ctx, group)
+			return !b, err
+		}
+	default:
+		rf, _ := c.boolFn(ex)
+		return func(ctx *execCtx, group [][]schema.Value) (bool, error) {
+			if len(group) == 0 {
+				return false, nil
+			}
+			return rf(ctx, group[0])
+		}
+	}
+}
+
+// aggFn compiles one aggregate over a group. The engine enforces the SQLite
+// rule that aggregates take exactly one argument, so the paper's
+// Aggregation-Hallucination class (COUNT(DISTINCT a, b)) fails here.
+func (c *compiler) aggFn(a *sqlir.Agg) groupVal {
+	if !sqlir.AggFuncs[a.Fn] {
+		return groupErrFn(fmt.Errorf("%w: %s", ErrUnknownFunction, a.Fn))
+	}
+	if len(a.Args) != 1 {
+		return groupErrFn(fmt.Errorf("%w: %s takes 1 argument, got %d", ErrAggArity, a.Fn, len(a.Args)))
+	}
+	fn := a.Fn
+	distinct := a.Distinct
+	if _, isStar := a.Args[0].(*sqlir.Star); isStar {
+		if fn != "COUNT" {
+			return groupErrFn(fmt.Errorf("%w: %s(*)", ErrUnknownFunction, fn))
+		}
+		return func(_ *execCtx, group [][]schema.Value) (schema.Value, error) {
+			return schema.N(float64(len(group))), nil
+		}
+	}
+	argFn, _ := c.valueFn(a.Args[0])
+	return func(ctx *execCtx, group [][]schema.Value) (schema.Value, error) {
+		var vals []schema.Value
+		for _, row := range group {
+			v, err := argFn(ctx, row)
+			if err != nil {
+				return schema.Null(), err
+			}
+			if !v.IsNull() {
+				vals = append(vals, v)
+			}
+		}
+		if distinct {
+			seen := map[string]bool{}
+			uniq := vals[:0:0]
+			for _, v := range vals {
+				k := strings.ToLower(v.String())
+				if !seen[k] {
+					seen[k] = true
+					uniq = append(uniq, v)
+				}
+			}
+			vals = uniq
+		}
+		switch fn {
+		case "COUNT":
+			return schema.N(float64(len(vals))), nil
+		case "SUM", "AVG":
+			if len(vals) == 0 {
+				return schema.Null(), nil
+			}
+			sum := 0.0
+			for _, v := range vals {
+				if v.Kind != schema.KindNum {
+					n, ok := parseNum(v.Str)
+					if !ok {
+						continue
+					}
+					sum += n
+					continue
+				}
+				sum += v.Num
+			}
+			if fn == "AVG" {
+				return schema.N(sum / float64(len(vals))), nil
+			}
+			return schema.N(sum), nil
+		case "MIN", "MAX":
+			if len(vals) == 0 {
+				return schema.Null(), nil
+			}
+			best := vals[0]
+			for _, v := range vals[1:] {
+				cv := v.Compare(best)
+				if (fn == "MIN" && cv < 0) || (fn == "MAX" && cv > 0) {
+					best = v
+				}
+			}
+			return best, nil
+		}
+		return schema.Null(), fmt.Errorf("%w: %s", ErrUnknownFunction, fn)
+	}
+}
+
+// ---- shared scalar semantics ----
 
 func arith(op string, l, r schema.Value) (schema.Value, error) {
 	if l.IsNull() || r.IsNull() {
@@ -87,126 +686,6 @@ func arith(op string, l, r schema.Value) (schema.Value, error) {
 		return schema.N(l.Num / r.Num), nil
 	}
 	return schema.Null(), fmt.Errorf("sqlexec: unknown arithmetic op %q", op)
-}
-
-// evalBool evaluates a boolean expression against one row.
-func (e *executor) evalBool(ex sqlir.Expr, bindings []binding, row []schema.Value) (bool, error) {
-	switch v := ex.(type) {
-	case *sqlir.Binary:
-		switch v.Op {
-		case "AND":
-			l, err := e.evalBool(v.L, bindings, row)
-			if err != nil {
-				return false, err
-			}
-			if !l {
-				return false, nil
-			}
-			return e.evalBool(v.R, bindings, row)
-		case "OR":
-			l, err := e.evalBool(v.L, bindings, row)
-			if err != nil {
-				return false, err
-			}
-			if l {
-				return true, nil
-			}
-			return e.evalBool(v.R, bindings, row)
-		case "=", "!=", "<", "<=", ">", ">=":
-			l, err := e.evalValue(v.L, bindings, row)
-			if err != nil {
-				return false, err
-			}
-			r, err := e.evalValue(v.R, bindings, row)
-			if err != nil {
-				return false, err
-			}
-			return compare(v.Op, l, r), nil
-		default:
-			return false, fmt.Errorf("sqlexec: unexpected operator %q in boolean context", v.Op)
-		}
-	case *sqlir.Not:
-		b, err := e.evalBool(v.E, bindings, row)
-		return !b, err
-	case *sqlir.Between:
-		x, err := e.evalValue(v.E, bindings, row)
-		if err != nil {
-			return false, err
-		}
-		lo, err := e.evalValue(v.Lo, bindings, row)
-		if err != nil {
-			return false, err
-		}
-		hi, err := e.evalValue(v.Hi, bindings, row)
-		if err != nil {
-			return false, err
-		}
-		in := !x.IsNull() && x.Compare(lo) >= 0 && x.Compare(hi) <= 0
-		return in != v.Negate, nil
-	case *sqlir.Like:
-		x, err := e.evalValue(v.E, bindings, row)
-		if err != nil {
-			return false, err
-		}
-		p, err := e.evalValue(v.Pattern, bindings, row)
-		if err != nil {
-			return false, err
-		}
-		m := likeMatch(x.String(), p.String())
-		return m != v.Negate, nil
-	case *sqlir.In:
-		x, err := e.evalValue(v.E, bindings, row)
-		if err != nil {
-			return false, err
-		}
-		var members []schema.Value
-		if v.Sub != nil {
-			res, err := e.execSub(v.Sub)
-			if err != nil {
-				return false, err
-			}
-			for _, r := range res.Rows {
-				if len(r) > 0 {
-					members = append(members, r[0])
-				}
-			}
-		} else {
-			for _, it := range v.List {
-				m, err := e.evalValue(it, bindings, row)
-				if err != nil {
-					return false, err
-				}
-				members = append(members, m)
-			}
-		}
-		found := false
-		for _, m := range members {
-			if x.Equal(m) {
-				found = true
-				break
-			}
-		}
-		return found != v.Negate, nil
-	case *sqlir.Exists:
-		res, err := e.execSub(v.Sub)
-		if err != nil {
-			return false, err
-		}
-		return (len(res.Rows) > 0) != v.Negate, nil
-	case *sqlir.IsNull:
-		x, err := e.evalValue(v.E, bindings, row)
-		if err != nil {
-			return false, err
-		}
-		return x.IsNull() != v.Negate, nil
-	case *sqlir.Literal:
-		if v.IsString {
-			return v.Str != "", nil
-		}
-		return v.Num != 0, nil
-	default:
-		return false, fmt.Errorf("sqlexec: expression %T not valid in boolean context", ex)
-	}
 }
 
 func compare(op string, l, r schema.Value) bool {
@@ -254,208 +733,39 @@ func parseNum(s string) (float64, bool) {
 }
 
 // likeMatch implements SQL LIKE with % and _ wildcards, case-insensitive.
+// The matcher is the linear two-pointer algorithm: on a mismatch after a %,
+// the pattern rewinds to just past that % and the subject advances one byte
+// past the last anchor. Worst case O(len(s)·len(p)) — the old recursive
+// matcher was exponential on %-heavy patterns (see TestLikePathological).
 func likeMatch(s, pattern string) bool {
 	s = strings.ToLower(s)
-	pattern = strings.ToLower(pattern)
-	return likeRec(s, pattern)
+	p := strings.ToLower(pattern)
+	si, pi := 0, 0
+	star, anchor := -1, 0
+	for si < len(s) {
+		switch {
+		case pi < len(p) && (p[pi] == '_' || p[pi] == s[si]):
+			si++
+			pi++
+		case pi < len(p) && p[pi] == '%':
+			star = pi
+			anchor = si
+			pi++
+		case star >= 0:
+			pi = star + 1
+			anchor++
+			si = anchor
+		default:
+			return false
+		}
+	}
+	for pi < len(p) && p[pi] == '%' {
+		pi++
+	}
+	return pi == len(p)
 }
 
-func likeRec(s, p string) bool {
-	if p == "" {
-		return s == ""
-	}
-	switch p[0] {
-	case '%':
-		for i := 0; i <= len(s); i++ {
-			if likeRec(s[i:], p[1:]) {
-				return true
-			}
-		}
-		return false
-	case '_':
-		return s != "" && likeRec(s[1:], p[1:])
-	default:
-		return s != "" && s[0] == p[0] && likeRec(s[1:], p[1:])
-	}
-}
-
-// scalarSubquery executes a subquery expected to yield a single scalar.
-func (e *executor) scalarSubquery(sel *sqlir.Select) (schema.Value, error) {
-	res, err := e.execSub(sel)
-	if err != nil {
-		return schema.Null(), err
-	}
-	if len(res.Rows) == 0 || len(res.Rows[0]) == 0 {
-		return schema.Null(), nil
-	}
-	return res.Rows[0][0], nil
-}
-
-// evalGroupValue evaluates an expression over a group of rows (aggregate
-// context). Non-aggregate column references take the value from the first
-// row of the group (they are grouping keys in well-formed SQL).
-func (e *executor) evalGroupValue(ex sqlir.Expr, bindings []binding, group [][]schema.Value) (schema.Value, error) {
-	switch v := ex.(type) {
-	case *sqlir.Agg:
-		return e.evalAgg(v, bindings, group)
-	case *sqlir.ColumnRef, *sqlir.Literal, *sqlir.Subquery:
-		if len(group) == 0 {
-			if _, ok := ex.(*sqlir.Literal); ok {
-				return e.evalValue(ex, bindings, nil)
-			}
-			return schema.Null(), nil
-		}
-		return e.evalValue(ex, bindings, group[0])
-	case *sqlir.Binary:
-		switch v.Op {
-		case "+", "-", "*", "/":
-			l, err := e.evalGroupValue(v.L, bindings, group)
-			if err != nil {
-				return schema.Null(), err
-			}
-			r, err := e.evalGroupValue(v.R, bindings, group)
-			if err != nil {
-				return schema.Null(), err
-			}
-			return arith(v.Op, l, r)
-		}
-		ok, err := e.evalBoolGroup(ex, bindings, group)
-		if err != nil {
-			return schema.Null(), err
-		}
-		if ok {
-			return schema.N(1), nil
-		}
-		return schema.N(0), nil
-	default:
-		if len(group) == 0 {
-			return schema.Null(), nil
-		}
-		return e.evalValue(ex, bindings, group[0])
-	}
-}
-
-// evalBoolGroup evaluates a HAVING-style boolean over a group.
-func (e *executor) evalBoolGroup(ex sqlir.Expr, bindings []binding, group [][]schema.Value) (bool, error) {
-	switch v := ex.(type) {
-	case *sqlir.Binary:
-		switch v.Op {
-		case "AND":
-			l, err := e.evalBoolGroup(v.L, bindings, group)
-			if err != nil || !l {
-				return false, err
-			}
-			return e.evalBoolGroup(v.R, bindings, group)
-		case "OR":
-			l, err := e.evalBoolGroup(v.L, bindings, group)
-			if err != nil {
-				return false, err
-			}
-			if l {
-				return true, nil
-			}
-			return e.evalBoolGroup(v.R, bindings, group)
-		case "=", "!=", "<", "<=", ">", ">=":
-			l, err := e.evalGroupValue(v.L, bindings, group)
-			if err != nil {
-				return false, err
-			}
-			r, err := e.evalGroupValue(v.R, bindings, group)
-			if err != nil {
-				return false, err
-			}
-			return compare(v.Op, l, r), nil
-		}
-		return false, fmt.Errorf("sqlexec: unexpected operator %q in HAVING", v.Op)
-	case *sqlir.Not:
-		b, err := e.evalBoolGroup(v.E, bindings, group)
-		return !b, err
-	default:
-		if len(group) == 0 {
-			return false, nil
-		}
-		return e.evalBool(ex, bindings, group[0])
-	}
-}
-
-// evalAgg computes one aggregate over a group. The engine enforces the
-// SQLite rule that aggregates take exactly one argument, so the paper's
-// Aggregation-Hallucination class (COUNT(DISTINCT a, b)) fails here.
-func (e *executor) evalAgg(a *sqlir.Agg, bindings []binding, group [][]schema.Value) (schema.Value, error) {
-	if !sqlir.AggFuncs[a.Fn] {
-		return schema.Null(), fmt.Errorf("%w: %s", ErrUnknownFunction, a.Fn)
-	}
-	if len(a.Args) != 1 {
-		return schema.Null(), fmt.Errorf("%w: %s takes 1 argument, got %d", ErrAggArity, a.Fn, len(a.Args))
-	}
-	arg := a.Args[0]
-	if _, isStar := arg.(*sqlir.Star); isStar {
-		if a.Fn != "COUNT" {
-			return schema.Null(), fmt.Errorf("%w: %s(*)", ErrUnknownFunction, a.Fn)
-		}
-		return schema.N(float64(len(group))), nil
-	}
-	var vals []schema.Value
-	for _, row := range group {
-		v, err := e.evalValue(arg, bindings, row)
-		if err != nil {
-			return schema.Null(), err
-		}
-		if !v.IsNull() {
-			vals = append(vals, v)
-		}
-	}
-	if a.Distinct {
-		seen := map[string]bool{}
-		uniq := vals[:0:0]
-		for _, v := range vals {
-			k := strings.ToLower(v.String())
-			if !seen[k] {
-				seen[k] = true
-				uniq = append(uniq, v)
-			}
-		}
-		vals = uniq
-	}
-	switch a.Fn {
-	case "COUNT":
-		return schema.N(float64(len(vals))), nil
-	case "SUM", "AVG":
-		if len(vals) == 0 {
-			return schema.Null(), nil
-		}
-		sum := 0.0
-		for _, v := range vals {
-			if v.Kind != schema.KindNum {
-				n, ok := parseNum(v.Str)
-				if !ok {
-					continue
-				}
-				sum += n
-				continue
-			}
-			sum += v.Num
-		}
-		if a.Fn == "AVG" {
-			return schema.N(sum / float64(len(vals))), nil
-		}
-		return schema.N(sum), nil
-	case "MIN", "MAX":
-		if len(vals) == 0 {
-			return schema.Null(), nil
-		}
-		best := vals[0]
-		for _, v := range vals[1:] {
-			c := v.Compare(best)
-			if (a.Fn == "MIN" && c < 0) || (a.Fn == "MAX" && c > 0) {
-				best = v
-			}
-		}
-		return best, nil
-	}
-	return schema.Null(), fmt.Errorf("%w: %s", ErrUnknownFunction, a.Fn)
-}
-
+// exprHasAgg reports whether the expression contains an aggregate call.
 func exprHasAgg(ex sqlir.Expr) bool {
 	has := false
 	var walk func(sqlir.Expr)

@@ -4,6 +4,22 @@
 // database-adaption module all run queries through it. The engine enforces a
 // SQLite-flavoured dialect (no CONCAT, single-column aggregates) so that the
 // hallucination classes of Table 2 surface as real execution errors.
+//
+// Execution is split into three layers (see DESIGN.md):
+//
+//   - plan.go lowers a sqlir.Select into a logical plan tree
+//     (scan → join → filter → group → project → sort/limit → set-op),
+//   - optimize.go applies rule-based rewrites (predicate pushdown into
+//     scans, equi-join strategy selection, projection pruning, constant
+//     folding),
+//   - operators.go executes the physical plan (hash joins for equi-joins,
+//     hash semi-joins for uncorrelated IN subqueries, hash grouping).
+//
+// prepare.go adds a prepared-statement layer on top: Prepare compiles a
+// query once into a reusable, concurrency-safe *Stmt, and PlanCache keys
+// compiled statements by (database schema, SQL text) so the repeat-execution
+// paths — the TS metric, the consistency vote, the /execute endpoint — skip
+// parsing and planning entirely on a hit.
 package sqlexec
 
 import (
@@ -23,6 +39,25 @@ type Result struct {
 	Ordered bool // true when the query had ORDER BY (row order significant)
 }
 
+// CanonicalRows renders the rows in canonical comparison form: each row is
+// lower-cased and \x1f-joined, and the row list is sorted unless ordered is
+// true. Every result comparison in the repo (EX/TS metrics, the consistency
+// vote's signature, the differential oracle) goes through this one encoding.
+func (r *Result) CanonicalRows(ordered bool) []string {
+	rows := make([]string, len(r.Rows))
+	for i, row := range r.Rows {
+		rows[i] = rowKey(row)
+	}
+	if !ordered {
+		sort.Strings(rows)
+	}
+	return rows
+}
+
+// Canonical renders the rows in canonical comparison form, order-sensitive
+// iff the result is Ordered.
+func (r *Result) Canonical() []string { return r.CanonicalRows(r.Ordered) }
+
 // Dialect errors surfaced to the adaption module. Each corresponds to an
 // error class in Table 2 of the paper.
 var (
@@ -33,10 +68,25 @@ var (
 	ErrAggArity        = errors.New("wrong number of arguments to aggregate")
 )
 
-// Exec executes the query against the database.
+// ErrSchemaMismatch is returned by Stmt.Exec when the target database's
+// schema no longer matches the schema the statement was prepared against.
+var ErrSchemaMismatch = errors.New("sqlexec: prepared statement schema mismatch")
+
+// Exec plans and executes the query against the database with default
+// options. For repeated execution of the same query, Prepare (or a
+// PlanCache) amortizes the planning cost.
 func Exec(db *schema.Database, sel *sqlir.Select) (*Result, error) {
-	e := &executor{db: db}
-	return e.execQuery(sel)
+	return ExecOptions(db, sel, PlanOptions{})
+}
+
+// ExecOptions plans and executes with explicit physical-plan options; tests
+// use it to force both join paths through the differential oracle.
+func ExecOptions(db *schema.Database, sel *sqlir.Select, opts PlanOptions) (*Result, error) {
+	p, err := planTop(db, sel, opts)
+	if err != nil {
+		return nil, err
+	}
+	return p.run(db)
 }
 
 // ExecSQL parses and executes a SQL string.
@@ -48,31 +98,6 @@ func ExecSQL(db *schema.Database, sql string) (*Result, error) {
 	return Exec(db, sel)
 }
 
-type executor struct {
-	db    *schema.Database
-	depth int
-	// subCache memoizes subquery results within one execution: the subset
-	// grammar has no correlated subqueries, so a nested SELECT's result is
-	// invariant across outer rows and would otherwise be recomputed per row.
-	subCache map[*sqlir.Select]*Result
-}
-
-// execSub executes a nested subquery with memoization.
-func (e *executor) execSub(sel *sqlir.Select) (*Result, error) {
-	if res, ok := e.subCache[sel]; ok {
-		return res, nil
-	}
-	res, err := e.execQuery(sel)
-	if err != nil {
-		return nil, err
-	}
-	if e.subCache == nil {
-		e.subCache = map[*sqlir.Select]*Result{}
-	}
-	e.subCache[sel] = res
-	return res, nil
-}
-
 const maxDepth = 16
 
 // binding names one column position of the working relation.
@@ -81,429 +106,6 @@ type binding struct {
 	table     string // underlying table name, lower-cased
 	column    string // column name, lower-cased
 	typ       schema.ColType
-}
-
-// relation is the working set: bound column positions plus rows.
-type relation struct {
-	bindings []binding
-	rows     [][]schema.Value
-}
-
-func (e *executor) execQuery(sel *sqlir.Select) (*Result, error) {
-	e.depth++
-	defer func() { e.depth-- }()
-	if e.depth > maxDepth {
-		return nil, errors.New("sqlexec: query nesting too deep")
-	}
-	left, err := e.execSelect(sel)
-	if err != nil {
-		return nil, err
-	}
-	if sel.Compound == nil {
-		return left, nil
-	}
-	right, err := e.execQuery(sel.Compound.Right)
-	if err != nil {
-		return nil, err
-	}
-	if len(left.Cols) != len(right.Cols) {
-		return nil, fmt.Errorf("sqlexec: set operands have %d vs %d columns", len(left.Cols), len(right.Cols))
-	}
-	return applySetOp(left, right, sel.Compound.Op, sel.Compound.All)
-}
-
-func applySetOp(left, right *Result, op string, all bool) (*Result, error) {
-	key := func(row []schema.Value) string {
-		parts := make([]string, len(row))
-		for i, v := range row {
-			parts[i] = strings.ToLower(v.String())
-		}
-		return strings.Join(parts, "\x1f")
-	}
-	out := &Result{Cols: left.Cols}
-	switch op {
-	case "UNION":
-		if all {
-			out.Rows = append(append([][]schema.Value{}, left.Rows...), right.Rows...)
-			return out, nil
-		}
-		seen := map[string]bool{}
-		for _, rs := range [][][]schema.Value{left.Rows, right.Rows} {
-			for _, r := range rs {
-				k := key(r)
-				if !seen[k] {
-					seen[k] = true
-					out.Rows = append(out.Rows, r)
-				}
-			}
-		}
-	case "INTERSECT":
-		inRight := map[string]bool{}
-		for _, r := range right.Rows {
-			inRight[key(r)] = true
-		}
-		seen := map[string]bool{}
-		for _, r := range left.Rows {
-			k := key(r)
-			if inRight[k] && !seen[k] {
-				seen[k] = true
-				out.Rows = append(out.Rows, r)
-			}
-		}
-	case "EXCEPT":
-		inRight := map[string]bool{}
-		for _, r := range right.Rows {
-			inRight[key(r)] = true
-		}
-		seen := map[string]bool{}
-		for _, r := range left.Rows {
-			k := key(r)
-			if !inRight[k] && !seen[k] {
-				seen[k] = true
-				out.Rows = append(out.Rows, r)
-			}
-		}
-	default:
-		return nil, fmt.Errorf("sqlexec: unknown set op %q", op)
-	}
-	// Set operations produce deduplicated, order-insignificant output; sort
-	// canonically for determinism.
-	sortRows(out.Rows)
-	return out, nil
-}
-
-func sortRows(rows [][]schema.Value) {
-	sort.SliceStable(rows, func(i, j int) bool {
-		a, b := rows[i], rows[j]
-		for k := 0; k < len(a) && k < len(b); k++ {
-			if c := a[k].Compare(b[k]); c != 0 {
-				return c < 0
-			}
-		}
-		return len(a) < len(b)
-	})
-}
-
-func (e *executor) execSelect(sel *sqlir.Select) (*Result, error) {
-	rel, err := e.buildFrom(sel.From)
-	if err != nil {
-		return nil, err
-	}
-	if sel.Where != nil {
-		filtered := rel.rows[:0:0]
-		for _, row := range rel.rows {
-			ok, err := e.evalBool(sel.Where, rel.bindings, row)
-			if err != nil {
-				return nil, err
-			}
-			if ok {
-				filtered = append(filtered, row)
-			}
-		}
-		rel.rows = filtered
-	}
-
-	hasAgg := false
-	for _, it := range sel.Items {
-		if exprHasAgg(it.Expr) {
-			hasAgg = true
-		}
-	}
-	for _, o := range sel.OrderBy {
-		if exprHasAgg(o.Expr) {
-			hasAgg = true
-		}
-	}
-
-	var groups [][][]schema.Value // each group is a slice of rows
-	if len(sel.GroupBy) > 0 {
-		idx := make([]int, len(sel.GroupBy))
-		for i, g := range sel.GroupBy {
-			j, err := resolveCol(g, rel.bindings)
-			if err != nil {
-				return nil, err
-			}
-			idx[i] = j
-		}
-		order := []string{}
-		byKey := map[string][][]schema.Value{}
-		for _, row := range rel.rows {
-			parts := make([]string, len(idx))
-			for i, j := range idx {
-				parts[i] = strings.ToLower(row[j].String())
-			}
-			k := strings.Join(parts, "\x1f")
-			if _, ok := byKey[k]; !ok {
-				order = append(order, k)
-			}
-			byKey[k] = append(byKey[k], row)
-		}
-		for _, k := range order {
-			groups = append(groups, byKey[k])
-		}
-		if sel.Having != nil {
-			kept := groups[:0]
-			for _, g := range groups {
-				ok, err := e.evalBoolGroup(sel.Having, rel.bindings, g)
-				if err != nil {
-					return nil, err
-				}
-				if ok {
-					kept = append(kept, g)
-				}
-			}
-			groups = kept
-		}
-	} else if hasAgg {
-		groups = [][][]schema.Value{rel.rows}
-	}
-
-	out := &Result{}
-	for _, it := range sel.Items {
-		out.Cols = append(out.Cols, itemName(it))
-	}
-
-	type orderedRow struct {
-		cells []schema.Value
-		keys  []schema.Value
-	}
-	var orows []orderedRow
-
-	makeRow := func(evalItem func(sqlir.Expr) (schema.Value, error)) error {
-		var cells []schema.Value
-		for _, it := range sel.Items {
-			if _, ok := it.Expr.(*sqlir.Star); ok {
-				// expand * over all bound columns
-				return errStarSentinel
-			}
-			v, err := evalItem(it.Expr)
-			if err != nil {
-				return err
-			}
-			cells = append(cells, v)
-		}
-		var keys []schema.Value
-		for _, o := range sel.OrderBy {
-			v, err := evalItem(o.Expr)
-			if err != nil {
-				return err
-			}
-			keys = append(keys, v)
-		}
-		orows = append(orows, orderedRow{cells: cells, keys: keys})
-		return nil
-	}
-
-	starSelect := len(sel.Items) == 1 && isStar(sel.Items[0].Expr)
-	if starSelect && groups == nil {
-		out.Cols = nil
-		for _, b := range rel.bindings {
-			out.Cols = append(out.Cols, b.column)
-		}
-		for _, row := range rel.rows {
-			var keys []schema.Value
-			for _, o := range sel.OrderBy {
-				v, err := e.evalValue(o.Expr, rel.bindings, row)
-				if err != nil {
-					return nil, err
-				}
-				keys = append(keys, v)
-			}
-			orows = append(orows, orderedRow{cells: row, keys: keys})
-		}
-	} else if groups != nil {
-		for _, g := range groups {
-			g := g
-			err := makeRow(func(ex sqlir.Expr) (schema.Value, error) {
-				return e.evalGroupValue(ex, rel.bindings, g)
-			})
-			if err != nil {
-				return nil, err
-			}
-		}
-	} else {
-		for _, row := range rel.rows {
-			row := row
-			err := makeRow(func(ex sqlir.Expr) (schema.Value, error) {
-				return e.evalValue(ex, rel.bindings, row)
-			})
-			if err != nil {
-				return nil, err
-			}
-		}
-	}
-
-	if len(sel.OrderBy) > 0 {
-		sort.SliceStable(orows, func(i, j int) bool {
-			for k, o := range sel.OrderBy {
-				c := orows[i].keys[k].Compare(orows[j].keys[k])
-				if o.Desc {
-					c = -c
-				}
-				if c != 0 {
-					return c < 0
-				}
-			}
-			return false
-		})
-		out.Ordered = true
-	}
-	for _, r := range orows {
-		out.Rows = append(out.Rows, r.cells)
-	}
-	if sel.Distinct {
-		seen := map[string]bool{}
-		dedup := out.Rows[:0:0]
-		for _, r := range out.Rows {
-			parts := make([]string, len(r))
-			for i, v := range r {
-				parts[i] = strings.ToLower(v.String())
-			}
-			k := strings.Join(parts, "\x1f")
-			if !seen[k] {
-				seen[k] = true
-				dedup = append(dedup, r)
-			}
-		}
-		out.Rows = dedup
-	}
-	if sel.HasLimit && sel.Limit >= 0 && len(out.Rows) > sel.Limit {
-		out.Rows = out.Rows[:sel.Limit]
-	}
-	return out, nil
-}
-
-var errStarSentinel = errors.New("sqlexec: SELECT * mixed with other items is unsupported")
-
-func isStar(e sqlir.Expr) bool {
-	_, ok := e.(*sqlir.Star)
-	return ok
-}
-
-func itemName(it sqlir.SelectItem) string {
-	if it.Alias != "" {
-		return it.Alias
-	}
-	switch v := it.Expr.(type) {
-	case *sqlir.ColumnRef:
-		return strings.ToLower(v.Column)
-	case *sqlir.Agg:
-		return strings.ToLower(v.Fn)
-	default:
-		return "expr"
-	}
-}
-
-// buildFrom constructs the joined working relation.
-func (e *executor) buildFrom(f sqlir.From) (*relation, error) {
-	rel, err := e.tableRelation(f.Base)
-	if err != nil {
-		return nil, err
-	}
-	for _, j := range f.Joins {
-		rt, err := e.tableRelation(j.Table)
-		if err != nil {
-			return nil, err
-		}
-		joined := &relation{bindings: append(append([]binding{}, rel.bindings...), rt.bindings...)}
-		li, err := resolveColIn(j.Left, rel.bindings, rt.bindings)
-		if err != nil {
-			return nil, err
-		}
-		ri, err := resolveColIn(j.Right, rel.bindings, rt.bindings)
-		if err != nil {
-			return nil, err
-		}
-		// Hash join on the canonical string form of the key (consistent with
-		// Value.Equal). The ON columns may each resolve to either side;
-		// normalize to (leftKey from rel, rightKey from rt).
-		leftKey, rightKey := li, ri
-		if leftKey.right && !rightKey.right {
-			leftKey, rightKey = rightKey, leftKey
-		}
-		if leftKey.right || !rightKey.right {
-			// Degenerate ON clause (both columns on one side): fall back to
-			// a filtered nested loop.
-			for _, lrow := range rel.rows {
-				for _, rrow := range rt.rows {
-					lv := pick(lrow, rrow, li)
-					rv := pick(lrow, rrow, ri)
-					if !lv.IsNull() && lv.Equal(rv) {
-						row := append(append([]schema.Value{}, lrow...), rrow...)
-						joined.rows = append(joined.rows, row)
-					}
-				}
-			}
-			rel = joined
-			continue
-		}
-		build := make(map[string][]int, len(rt.rows))
-		for i, rrow := range rt.rows {
-			v := rrow[rightKey.idx]
-			if v.IsNull() {
-				continue
-			}
-			k := strings.ToLower(v.String())
-			build[k] = append(build[k], i)
-		}
-		for _, lrow := range rel.rows {
-			lv := lrow[leftKey.idx]
-			if lv.IsNull() {
-				continue
-			}
-			for _, i := range build[strings.ToLower(lv.String())] {
-				row := append(append([]schema.Value{}, lrow...), rt.rows[i]...)
-				joined.rows = append(joined.rows, row)
-			}
-		}
-		rel = joined
-	}
-	return rel, nil
-}
-
-// sideIdx locates a column on either side of a join.
-type sideIdx struct {
-	right bool
-	idx   int
-}
-
-func pick(lrow, rrow []schema.Value, s sideIdx) schema.Value {
-	if s.right {
-		return rrow[s.idx]
-	}
-	return lrow[s.idx]
-}
-
-func resolveColIn(c *sqlir.ColumnRef, left, right []binding) (sideIdx, error) {
-	if i, err := resolveCol(c, left); err == nil {
-		return sideIdx{false, i}, nil
-	} else if errors.Is(err, ErrAmbiguousColumn) {
-		return sideIdx{}, err
-	}
-	i, err := resolveCol(c, right)
-	if err != nil {
-		return sideIdx{}, err
-	}
-	return sideIdx{true, i}, nil
-}
-
-func (e *executor) tableRelation(tr sqlir.TableRef) (*relation, error) {
-	t := e.db.Table(tr.Table)
-	if t == nil {
-		return nil, fmt.Errorf("%w: %s", ErrUnknownTable, tr.Table)
-	}
-	q := strings.ToLower(tr.Name())
-	rel := &relation{}
-	for _, c := range t.Columns {
-		rel.bindings = append(rel.bindings, binding{
-			qualifier: q,
-			table:     strings.ToLower(t.Name),
-			column:    strings.ToLower(c.Name),
-			typ:       c.Type,
-		})
-	}
-	rel.rows = t.Rows
-	return rel, nil
 }
 
 // resolveCol finds the position of a column reference within bindings.
@@ -535,4 +137,35 @@ func resolveCol(c *sqlir.ColumnRef, bindings []binding) (int, error) {
 		return 0, fmt.Errorf("%w: %s", ErrUnknownColumn, name)
 	}
 	return found, nil
+}
+
+func sortRows(rows [][]schema.Value) {
+	sort.SliceStable(rows, func(i, j int) bool {
+		a, b := rows[i], rows[j]
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if c := a[k].Compare(b[k]); c != 0 {
+				return c < 0
+			}
+		}
+		return len(a) < len(b)
+	})
+}
+
+func isStar(e sqlir.Expr) bool {
+	_, ok := e.(*sqlir.Star)
+	return ok
+}
+
+func itemName(it sqlir.SelectItem) string {
+	if it.Alias != "" {
+		return it.Alias
+	}
+	switch v := it.Expr.(type) {
+	case *sqlir.ColumnRef:
+		return strings.ToLower(v.Column)
+	case *sqlir.Agg:
+		return strings.ToLower(v.Fn)
+	default:
+		return "expr"
+	}
 }

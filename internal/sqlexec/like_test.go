@@ -1,0 +1,117 @@
+package sqlexec
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// likeRecRef is the old exponential-backtracking matcher, kept here as the
+// semantic reference for the equivalence test (on inputs small enough that
+// its blowup cannot bite).
+func likeRecRef(s, p string) bool {
+	if p == "" {
+		return s == ""
+	}
+	switch p[0] {
+	case '%':
+		for i := 0; i <= len(s); i++ {
+			if likeRecRef(s[i:], p[1:]) {
+				return true
+			}
+		}
+		return false
+	case '_':
+		return s != "" && likeRecRef(s[1:], p[1:])
+	default:
+		return s != "" && s[0] == p[0] && likeRecRef(s[1:], p[1:])
+	}
+}
+
+func TestLikeBasics(t *testing.T) {
+	cases := []struct {
+		s, p string
+		want bool
+	}{
+		{"", "", true},
+		{"", "%", true},
+		{"", "_", false},
+		{"a", "", false},
+		{"abc", "abc", true},
+		{"abc", "ABC", true}, // case-insensitive
+		{"abc", "a%", true},
+		{"abc", "%c", true},
+		{"abc", "%b%", true},
+		{"abc", "a_c", true},
+		{"abc", "a_b", false},
+		{"abc", "%%", true},
+		{"abc", "%%%", true},
+		{"abc", "a%b%c", true},
+		{"aXbYc", "a%b%c", true},
+		{"ac", "a%b%c", false},
+		{"mississippi", "%iss%ipp%", true},
+		{"mississippi", "m%i%s%p_", true},
+		{"NULL", "n%", true}, // NULL renders as "NULL" and matches, as before
+	}
+	for _, c := range cases {
+		if got := likeMatch(c.s, c.p); got != c.want {
+			t.Errorf("likeMatch(%q, %q) = %v, want %v", c.s, c.p, got, c.want)
+		}
+	}
+}
+
+// TestLikeEquivalence exhaustively compares the linear matcher against the
+// old recursive reference on a dense small input space.
+func TestLikeEquivalence(t *testing.T) {
+	alpha := []byte{'a', 'b', '%', '_'}
+	var pats []string
+	var build func(prefix []byte, depth int)
+	build = func(prefix []byte, depth int) {
+		pats = append(pats, string(prefix))
+		if depth == 0 {
+			return
+		}
+		for _, c := range alpha {
+			build(append(prefix, c), depth-1)
+		}
+	}
+	build(nil, 4)
+	subjects := []string{"", "a", "b", "ab", "ba", "aab", "abab", "bbaa", "aaaa", "abba"}
+	n := 0
+	for _, p := range pats {
+		for _, s := range subjects {
+			if got, want := likeMatch(s, p), likeRecRef(strings.ToLower(s), strings.ToLower(p)); got != want {
+				t.Fatalf("likeMatch(%q, %q) = %v, reference = %v", s, p, got, want)
+			}
+			n++
+		}
+	}
+	if n < 1000 {
+		t.Fatalf("only %d combinations covered", n)
+	}
+}
+
+// TestLikePathological: a %-heavy pattern against a long non-matching
+// subject. The old recursive matcher is exponential in the number of %
+// groups here and would not finish within any reasonable timeout; the
+// linear two-pointer matcher answers immediately.
+func TestLikePathological(t *testing.T) {
+	subject := strings.Repeat("a", 5000)
+	pattern := strings.Repeat("%a", 30) + "%b" // needs a trailing b that never comes
+	done := make(chan bool, 1)
+	go func() {
+		done <- likeMatch(subject, pattern)
+	}()
+	select {
+	case got := <-done:
+		if got {
+			t.Fatal("pattern unexpectedly matched")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("likeMatch did not terminate on pathological pattern")
+	}
+	// And the matching variant terminates and matches.
+	if !likeMatch(subject, strings.Repeat("%a", 30)+"%") {
+		t.Fatal("matching %-heavy pattern failed")
+	}
+}

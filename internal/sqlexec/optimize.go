@@ -1,0 +1,297 @@
+package sqlexec
+
+import (
+	"sort"
+
+	"repro/internal/sqlir"
+)
+
+// This file is the rule-based optimizer. It operates on the analyzed
+// logical plan and decides, before any expression is compiled:
+//
+//   - conjunct splitting: the WHERE tree is flattened into an ordered list
+//     of AND conjuncts (evaluation order and short-circuiting preserved);
+//   - predicate pushdown: provably error-free conjuncts whose columns all
+//     resolve into a single scan are evaluated at that scan, before join
+//     materialization;
+//   - equi-join strategy: joins whose ON columns sit on opposite sides hash
+//     on the key (decided in plan.go's compile from the normalized form);
+//   - projection pruning: join output rows materialize only the columns
+//     needed above the join (projections, residual predicates, grouping,
+//     ordering, later join keys).
+//
+// Constant folding is the fourth rule; it lives in the expression compiler
+// (eval.go) because it falls out of compile-time evaluation of pure
+// subtrees.
+//
+// Pushdown safety: moving a predicate below a join changes how many rows it
+// is evaluated on, and changes which rows later predicates see. Both are
+// only invisible when the moved predicate cannot raise an execution error
+// (else a query that previously errored could succeed, or vice versa — the
+// adaption repair loop and the differential oracle would observe the
+// difference). Therefore only conjuncts from the prefix before the first
+// error-capable conjunct are candidates, and a candidate must itself be
+// error-free: built from successfully resolved columns, literals,
+// comparisons, boolean connectives, BETWEEN/LIKE/IS NULL and value-list IN
+// — no arithmetic (errors on non-numeric data), no subqueries, no
+// aggregates.
+
+// optSel is the optimizer's output for one SELECT block.
+type optSel struct {
+	conjuncts []sqlir.Expr // WHERE conjuncts in evaluation order
+	pushTo    []int        // per conjunct: target scan index, or -1 (residual)
+	layouts   [][]int      // per level: full indexes present in materialized rows
+	finalMap  []int        // full index -> final row position (-1 when pruned)
+}
+
+func (pc *planCtx) optimize(ls *logSel) *optSel {
+	opt := &optSel{}
+	if ls.sel.Where != nil {
+		splitAnd(ls.sel.Where, &opt.conjuncts)
+	}
+	opt.pushTo = make([]int, len(opt.conjuncts))
+	for i := range opt.pushTo {
+		opt.pushTo[i] = -1
+	}
+
+	if !pc.opts.NoPushdown {
+		for ci, ex := range opt.conjuncts {
+			if !errorFreeBool(ex, ls.bindings) {
+				// Everything from the first error-capable conjunct on must
+				// keep its evaluation set and order.
+				break
+			}
+			refs := map[int]bool{}
+			collectRefs(ex, ls.bindings, refs)
+			if sc := soleScan(refs, ls.scans); sc >= 0 {
+				opt.pushTo[ci] = sc
+			}
+		}
+	}
+
+	// Needed-column analysis for projection pruning: everything referenced
+	// by residual conjuncts, projections, grouping, HAVING and ORDER BY.
+	sel := ls.sel
+	need := map[int]bool{}
+	for ci, ex := range opt.conjuncts {
+		if opt.pushTo[ci] < 0 {
+			collectRefs(ex, ls.bindings, need)
+		}
+	}
+	if ls.starSole && !(len(sel.GroupBy) > 0 || ls.hasAgg) {
+		for i := range ls.bindings {
+			need[i] = true
+		}
+	}
+	for _, it := range sel.Items {
+		collectRefs(it.Expr, ls.bindings, need)
+	}
+	for _, g := range sel.GroupBy {
+		collectRefs(g, ls.bindings, need)
+	}
+	if sel.Having != nil {
+		collectRefs(sel.Having, ls.bindings, need)
+	}
+	for _, o := range sel.OrderBy {
+		collectRefs(o.Expr, ls.bindings, need)
+	}
+
+	// Layouts, left to right. Level 0 is the base scan's raw rows (never
+	// pruned: scan rows are shared with the table). The output of join j
+	// keeps a column iff it is needed above, or it keys a later join's left
+	// side.
+	leftKeysAfter := make([]map[int]bool, len(ls.joins)+1)
+	leftKeysAfter[len(ls.joins)] = map[int]bool{}
+	for j := len(ls.joins) - 1; j >= 0; j-- {
+		m := map[int]bool{}
+		for k := range leftKeysAfter[j+1] {
+			m[k] = true
+		}
+		lj := ls.joins[j]
+		if lj.normalized {
+			m[lj.leftKeyFull] = true
+		} else {
+			for _, s := range []sideIdx{lj.li, lj.ri} {
+				if !s.right {
+					m[s.idx] = true
+				}
+			}
+		}
+		leftKeysAfter[j] = m
+	}
+
+	opt.layouts = make([][]int, len(ls.joins)+1)
+	base := ls.scans[0]
+	for fi := 0; fi < base.ncols; fi++ {
+		opt.layouts[0] = append(opt.layouts[0], fi)
+	}
+	for j := range ls.joins {
+		sc := ls.scans[j+1]
+		hi := sc.start + sc.ncols
+		var layout []int
+		for fi := 0; fi < hi; fi++ {
+			if need[fi] || leftKeysAfter[j+1][fi] {
+				layout = append(layout, fi)
+			}
+		}
+		sort.Ints(layout)
+		opt.layouts[j+1] = layout
+	}
+
+	final := opt.layouts[len(opt.layouts)-1]
+	opt.finalMap = make([]int, len(ls.bindings))
+	for i := range opt.finalMap {
+		opt.finalMap[i] = -1
+	}
+	for pos, fi := range final {
+		opt.finalMap[fi] = pos
+	}
+	return opt
+}
+
+// splitAnd flattens a WHERE tree into its AND conjuncts, left to right.
+// Evaluating the list in order with early-false exit is exactly the old
+// short-circuit evaluation of the tree.
+func splitAnd(e sqlir.Expr, out *[]sqlir.Expr) {
+	if b, ok := e.(*sqlir.Binary); ok && b.Op == "AND" {
+		splitAnd(b.L, out)
+		splitAnd(b.R, out)
+		return
+	}
+	*out = append(*out, e)
+}
+
+// errorFreeBool reports whether evaluating ex in BOOLEAN context can never
+// raise an execution error, regardless of row data. Only such predicates
+// may move across operators. Context matters: a bare column reference is a
+// fine comparison operand but always errors as a predicate ("not valid in
+// boolean context"), so the two positions get separate classifiers.
+func errorFreeBool(ex sqlir.Expr, bindings []binding) bool {
+	switch v := ex.(type) {
+	case *sqlir.Literal:
+		return true // truthiness, never errors
+	case *sqlir.Binary:
+		switch v.Op {
+		case "AND", "OR":
+			return errorFreeBool(v.L, bindings) && errorFreeBool(v.R, bindings)
+		case "=", "!=", "<", "<=", ">", ">=":
+			return errorFreeValue(v.L, bindings) && errorFreeValue(v.R, bindings)
+		}
+		// Arithmetic (and anything else) errors in boolean context.
+		return false
+	case *sqlir.Not:
+		return errorFreeBool(v.E, bindings)
+	case *sqlir.Between:
+		return errorFreeValue(v.E, bindings) && errorFreeValue(v.Lo, bindings) && errorFreeValue(v.Hi, bindings)
+	case *sqlir.Like:
+		return errorFreeValue(v.E, bindings) && errorFreeValue(v.Pattern, bindings)
+	case *sqlir.IsNull:
+		return errorFreeValue(v.E, bindings)
+	case *sqlir.In:
+		if v.Sub != nil {
+			return false // subquery execution can error
+		}
+		if !errorFreeValue(v.E, bindings) {
+			return false
+		}
+		for _, it := range v.List {
+			if !errorFreeValue(it, bindings) {
+				return false
+			}
+		}
+		return true
+	default:
+		// ColumnRef, Subquery, Exists, Agg, Star: error in boolean context
+		// or may error when evaluated.
+		return false
+	}
+}
+
+// errorFreeValue is the VALUE-context classifier: column references are
+// error-free iff they resolve; boolean forms adapt through 1/0 and inherit
+// the boolean classification.
+func errorFreeValue(ex sqlir.Expr, bindings []binding) bool {
+	switch v := ex.(type) {
+	case *sqlir.ColumnRef:
+		_, err := resolveCol(v, bindings)
+		return err == nil
+	case *sqlir.Literal:
+		return true
+	case *sqlir.Binary:
+		switch v.Op {
+		case "+", "-", "*", "/":
+			// Arithmetic errors on non-numeric operands (data-dependent).
+			return false
+		}
+		return errorFreeBool(ex, bindings)
+	case *sqlir.Not, *sqlir.Between, *sqlir.Like, *sqlir.IsNull, *sqlir.In:
+		// Value context adapts these through boolean evaluation (1/0).
+		return errorFreeBool(ex, bindings)
+	default:
+		// Subquery, Exists, Agg, Star: may error or need group context.
+		return false
+	}
+}
+
+// collectRefs records the full binding indexes of every column reference in
+// ex that resolves, without descending into subqueries (they bind their own
+// scope). Unresolvable references contribute nothing — they compile to
+// lazy-error closures that touch no column.
+func collectRefs(ex sqlir.Expr, bindings []binding, refs map[int]bool) {
+	switch v := ex.(type) {
+	case *sqlir.ColumnRef:
+		if i, err := resolveCol(v, bindings); err == nil {
+			refs[i] = true
+		}
+	case *sqlir.Binary:
+		collectRefs(v.L, bindings, refs)
+		collectRefs(v.R, bindings, refs)
+	case *sqlir.Not:
+		collectRefs(v.E, bindings, refs)
+	case *sqlir.Between:
+		collectRefs(v.E, bindings, refs)
+		collectRefs(v.Lo, bindings, refs)
+		collectRefs(v.Hi, bindings, refs)
+	case *sqlir.Like:
+		collectRefs(v.E, bindings, refs)
+		collectRefs(v.Pattern, bindings, refs)
+	case *sqlir.In:
+		collectRefs(v.E, bindings, refs)
+		for _, it := range v.List {
+			collectRefs(it, bindings, refs)
+		}
+	case *sqlir.IsNull:
+		collectRefs(v.E, bindings, refs)
+	case *sqlir.Agg:
+		for _, a := range v.Args {
+			collectRefs(a, bindings, refs)
+		}
+	}
+}
+
+// soleScan returns the index of the single scan containing every referenced
+// column, or -1.
+func soleScan(refs map[int]bool, scans []*logScan) int {
+	if len(refs) == 0 {
+		return -1
+	}
+	target := -1
+	for fi := range refs {
+		s := -1
+		for i, sc := range scans {
+			if fi >= sc.start && fi < sc.start+sc.ncols {
+				s = i
+				break
+			}
+		}
+		if s < 0 {
+			return -1
+		}
+		if target < 0 {
+			target = s
+		} else if target != s {
+			return -1
+		}
+	}
+	return target
+}

@@ -1,0 +1,186 @@
+package sqlexec
+
+import (
+	"container/list"
+	"strconv"
+	"sync"
+
+	"repro/internal/schema"
+	"repro/internal/sqlir"
+)
+
+// Prepare compiles the query against the database's schema into a reusable
+// statement. The returned Stmt holds no per-execution state and no AST
+// references, so it is safe for concurrent use and immune to later mutation
+// of sel (the adaption module rewrites ASTs in place between attempts).
+//
+// A Stmt may execute against any database whose schema matches the one it
+// was prepared on — in particular the reinstantiated instances the TS
+// metric distills, which share the schema and differ only in rows.
+func Prepare(db *schema.Database, sel *sqlir.Select) (*Stmt, error) {
+	return PrepareOptions(db, sel, PlanOptions{})
+}
+
+// PrepareOptions compiles with explicit physical-plan options.
+func PrepareOptions(db *schema.Database, sel *sqlir.Select, opts PlanOptions) (*Stmt, error) {
+	root, err := planTop(db, sel, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Stmt{root: root, fp: db.Fingerprint()}, nil
+}
+
+// PrepareSQL parses and prepares a SQL string.
+func PrepareSQL(db *schema.Database, sql string) (*Stmt, error) {
+	sel, err := sqlir.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return Prepare(db, sel)
+}
+
+// Stmt is a compiled, immutable, concurrency-safe query plan.
+type Stmt struct {
+	root *selectPlan
+	fp   uint64
+}
+
+// Exec runs the statement against db. The database must carry the same
+// schema the statement was prepared on (same tables, columns and types in
+// order); rows may differ freely. The fingerprint is cached on the
+// database, so the check is one atomic load per execution.
+func (s *Stmt) Exec(db *schema.Database) (*Result, error) {
+	if db.Fingerprint() != s.fp {
+		return nil, ErrSchemaMismatch
+	}
+	return s.root.run(db)
+}
+
+// PlanCacheStats are the plan cache's observability counters, exposed via
+// the service's /v1/stats endpoint.
+type PlanCacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Size      int    `json:"size"`
+	Capacity  int    `json:"capacity"`
+}
+
+// HitRate returns hits/(hits+misses), or 0 before any lookup.
+func (s PlanCacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// PlanCache is a keyed LRU of prepared statements. The key is (schema
+// fingerprint, SQL text), so a hit skips parsing and planning entirely, and
+// databases that share a schema — the TS metric's distilled instances —
+// share cached plans. Parse and plan failures are not cached. Safe for
+// concurrent use.
+type PlanCache struct {
+	mu        sync.Mutex
+	capacity  int
+	entries   map[string]*list.Element
+	lru       *list.List // front = most recent; values are *cacheEntry
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+type cacheEntry struct {
+	key  string
+	stmt *Stmt
+}
+
+// NewPlanCache returns a cache bounded to capacity statements (minimum 1).
+func NewPlanCache(capacity int) *PlanCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &PlanCache{
+		capacity: capacity,
+		entries:  map[string]*list.Element{},
+		lru:      list.New(),
+	}
+}
+
+// Shared is the process-wide plan cache used by the repeat-execution call
+// sites: the EX/TS metrics in internal/eval, the consistency vote in
+// internal/adaption, and the service's /execute endpoint. Its counters are
+// reported on /v1/stats.
+var Shared = NewPlanCache(512)
+
+// Prepare returns a cached statement for (db's schema, sql), compiling and
+// inserting on miss.
+func (c *PlanCache) Prepare(db *schema.Database, sql string) (*Stmt, error) {
+	key := strconv.FormatUint(db.Fingerprint(), 16) + "\x00" + sql
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		c.hits++
+		stmt := el.Value.(*cacheEntry).stmt
+		c.mu.Unlock()
+		return stmt, nil
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	// Compile outside the lock; concurrent misses on the same key duplicate
+	// work but converge on one cached entry.
+	stmt, err := PrepareSQL(db, sql)
+	if err != nil {
+		return nil, err
+	}
+
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		stmt = el.Value.(*cacheEntry).stmt
+	} else {
+		c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, stmt: stmt})
+		for c.lru.Len() > c.capacity {
+			oldest := c.lru.Back()
+			c.lru.Remove(oldest)
+			delete(c.entries, oldest.Value.(*cacheEntry).key)
+			c.evictions++
+		}
+	}
+	c.mu.Unlock()
+	return stmt, nil
+}
+
+// Exec prepares sql through the cache and executes it against db — the
+// one cached-execution sequence shared by every repeat-execution call site
+// (EX/TS metrics, consistency vote, /execute).
+func (c *PlanCache) Exec(db *schema.Database, sql string) (*Result, error) {
+	stmt, err := c.Prepare(db, sql)
+	if err != nil {
+		return nil, err
+	}
+	return stmt.Exec(db)
+}
+
+// Stats snapshots the counters.
+func (c *PlanCache) Stats() PlanCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return PlanCacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Size:      c.lru.Len(),
+		Capacity:  c.capacity,
+	}
+}
+
+// Reset drops every cached plan and zeroes the counters.
+func (c *PlanCache) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = map[string]*list.Element{}
+	c.lru = list.New()
+	c.hits, c.misses, c.evictions = 0, 0, 0
+}
