@@ -7,13 +7,17 @@
 //	benchmarks -exp table4 -scale 0.2 -limit 200
 //	benchmarks -exp all -workers 8
 //	benchmarks -json [-short]       # executor/engine micro-benchmarks as JSON
+//	benchmarks -json -set catalog   # tenant-catalog micro-benchmarks as JSON
 //
-// The -json mode runs the SQL-executor and batch-engine micro-benchmarks
-// through testing.Benchmark and emits one JSON document (ns/op, allocs/op,
-// B/op per benchmark) on stdout — CI uploads it as the BENCH_executor.json
-// artifact so the performance trajectory is recorded per commit. -short
-// skips the corpus-building benchmarks for CI latency; workload sizes are
-// identical either way so short and full numbers stay comparable.
+// The -json mode runs a micro-benchmark set through testing.Benchmark and
+// emits one JSON document (ns/op, allocs/op, B/op per benchmark) on stdout.
+// -set selects the set: "executor" (default) covers the SQL executor and
+// batch engine and is uploaded by CI as the BENCH_executor.json artifact;
+// "catalog" covers multi-tenant registration, snapshot swap and the
+// lock-free tenant-lookup hot path (BENCH_catalog.json artifact), sharing
+// its fixtures with internal/catalog's own benchmarks. -short skips the
+// corpus-building benchmarks for CI latency; workload sizes are identical
+// either way so short and full numbers stay comparable.
 package main
 
 import (
@@ -27,6 +31,7 @@ import (
 	"time"
 
 	"repro/internal/benchfix"
+	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/exp"
@@ -44,13 +49,23 @@ func main() {
 		limit    = flag.Int("limit", 0, "cap evaluated examples per run (0 = all)")
 		seed     = flag.Int64("seed", 1, "corpus and pipeline seed")
 		workers  = flag.Int("workers", 1, "translation worker pool size (>1 parallelizes; output is identical to -workers 1)")
-		jsonMode = flag.Bool("json", false, "emit executor/engine micro-benchmark results as JSON and exit")
+		jsonMode = flag.Bool("json", false, "emit micro-benchmark results as JSON and exit")
+		benchSet = flag.String("set", "executor", "with -json: benchmark set to run (executor|catalog)")
 		short    = flag.Bool("short", false, "with -json: skip the corpus-building benchmarks (exec_ts_metric, engine_batch_translate); workload sizes are unchanged so numbers stay comparable")
 	)
 	flag.Parse()
 
 	if *jsonMode {
-		if err := runJSONBenchmarks(*short); err != nil {
+		var err error
+		switch *benchSet {
+		case "executor":
+			err = runJSONBenchmarks(*short)
+		case "catalog":
+			err = runCatalogBenchmarks()
+		default:
+			err = fmt.Errorf("unknown -set %q (want executor or catalog)", *benchSet)
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -161,10 +176,6 @@ func runJSONBenchmarks(short bool) error {
 		}
 	}
 
-	type namedBench struct {
-		name string
-		fn   func(*testing.B)
-	}
 	benches := []namedBench{
 		{"exec_scan_filter", execBench(benchfix.ScanFilterSQL, sqlexec.PlanOptions{})},
 		{"exec_hash_join", execBench(benchfix.TwoTableSQL, sqlexec.PlanOptions{})},
@@ -184,7 +195,17 @@ func runJSONBenchmarks(short bool) error {
 			namedBench{"engine_batch_translate", engineBatchBench()},
 		)
 	}
+	return emitReport(short, benches)
+}
 
+type namedBench struct {
+	name string
+	fn   func(*testing.B)
+}
+
+// emitReport runs the benchmark list through testing.Benchmark and writes
+// the JSON document to stdout.
+func emitReport(short bool, benches []namedBench) error {
 	report := benchReport{
 		GeneratedUnix: time.Now().Unix(),
 		GoVersion:     runtime.Version(),
@@ -212,6 +233,120 @@ func runJSONBenchmarks(short bool) error {
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	return enc.Encode(report)
+}
+
+// runCatalogBenchmarks measures the multi-tenant catalog: registration
+// (validation + warming-snapshot construction), re-registration swap,
+// single-threaded and 16-goroutine lock-free tenant lookup, and
+// question→demo oracle resolution. Fixtures come from internal/benchfix so
+// the numbers match internal/catalog's own benchmarks.
+func runCatalogBenchmarks() error {
+	fmt.Fprintln(os.Stderr, "training catalog fallback models...")
+	boot := spider.GenerateSmall(7, 0.03)
+	fallback := catalog.NewFallback(boot.Train.Examples)
+	demos := func() []catalog.Demo {
+		specs := benchfix.TenantDemos()
+		out := make([]catalog.Demo, len(specs))
+		for i, d := range specs {
+			out[i] = catalog.Demo{NL: d.NL, SQL: d.SQL}
+		}
+		return out
+	}()
+	newCatalog := func(b *testing.B) *catalog.Catalog {
+		c, err := catalog.New(catalog.Config{
+			Client:       llm.NewSim(llm.ChatGPT),
+			Fallback:     fallback,
+			MaxTenants:   1 << 20,
+			BuildQueue:   1 << 20,
+			BuildRunners: 8,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() {
+			ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+			defer cancel()
+			c.Close(ctx)
+		})
+		return c
+	}
+	seed := func(b *testing.B, c *catalog.Catalog, n int) []string {
+		names := make([]string, n)
+		for i := range names {
+			names[i] = fmt.Sprintf("t%d", i)
+			if _, err := c.Register(catalog.Registration{DB: benchfix.TenantDB(names[i]), Demos: demos}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return names
+	}
+
+	benches := []namedBench{
+		{"catalog_register", func(b *testing.B) {
+			c := newCatalog(b)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Register(catalog.Registration{DB: benchfix.TenantDB(fmt.Sprintf("bench%d", i)), Demos: demos}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"catalog_reregister_swap", func(b *testing.B) {
+			c := newCatalog(b)
+			seed(b, c, 1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Reregister(catalog.Registration{DB: benchfix.TenantDB("t0"), Demos: demos}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"catalog_lookup", func(b *testing.B) {
+			c := newCatalog(b)
+			seed(b, c, 16)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tn, ok := c.Lookup("t7")
+				if !ok || tn.Snapshot() == nil {
+					b.Fatal("lookup failed")
+				}
+			}
+		}},
+		{"catalog_lookup_parallel16", func(b *testing.B) {
+			c := newCatalog(b)
+			names := seed(b, c, 16)
+			b.SetParallelism(16)
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					tn, ok := c.Lookup(names[i&15])
+					i++
+					if !ok || tn.Snapshot() == nil {
+						b.Fatal("lookup failed")
+					}
+				}
+			})
+		}},
+		{"catalog_oracle_match", func(b *testing.B) {
+			c := newCatalog(b)
+			seed(b, c, 1)
+			tn, _ := c.Lookup("t0")
+			snap := tn.Snapshot()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, ok := snap.Oracle("How many items does each shop sell?"); !ok {
+					b.Fatal("oracle miss")
+				}
+			}
+		}},
+	}
+	return emitReport(false, benches)
 }
 
 // tsMetricBench measures eval.TestSuiteMatch end to end (prepared TS path).

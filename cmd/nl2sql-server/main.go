@@ -1,14 +1,21 @@
 // Command nl2sql-server serves the PURPLE pipeline over HTTP.
 //
 //	nl2sql-server -addr :8080 -scale 0.1 -workers 8 -job-runners 2 -job-queue 16
-//	curl localhost:8080/databases
-//	curl -X POST localhost:8080/translate -d '{"task_id": 3}'
+//	curl localhost:8080/v1/databases
+//	curl -X POST localhost:8080/v1/translate -d '{"task_id": 3}'
 //	curl -X POST localhost:8080/v1/batch -d '{"task_ids": [0,1,2,3], "workers": 4}'
 //	curl -X POST localhost:8080/v1/jobs -d '{"task_ids": [0,1,2,3]}'   # async: returns a job id
 //	curl localhost:8080/v1/jobs/job-000001                             # poll progress/results
 //	curl -X DELETE localhost:8080/v1/jobs/job-000001                   # cancel
 //	curl localhost:8080/v1/stats
-//	curl -X POST localhost:8080/execute -d '{"database":"tv","sql":"SELECT COUNT(*) FROM cartoon"}'
+//	curl -X POST localhost:8080/v1/execute -d '{"database":"tv","sql":"SELECT COUNT(*) FROM cartoon"}'
+//
+// Multi-tenant catalog: register your own database with demonstrations and
+// translate against it (see examples/custom-database for a full client):
+//
+//	curl -X POST localhost:8080/v1/databases -d '{"name":"shop","tables":[...],"demos":[...]}'
+//	curl localhost:8080/v1/databases/shop                  # warming -> ready
+//	curl -X POST localhost:8080/v1/translate -d '{"database":"shop","question":"..."}'
 //
 // On SIGINT/SIGTERM the server stops accepting connections, then drains the
 // job subsystem: queued jobs are cancelled, running jobs get -drain-timeout
@@ -21,9 +28,12 @@ import (
 	"log"
 	"net/http"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/jobs"
 	"repro/internal/llm"
@@ -33,22 +43,27 @@ import (
 
 func main() {
 	var (
-		addr         = flag.String("addr", ":8080", "listen address")
-		scale        = flag.Float64("scale", 0.1, "corpus scale")
-		seed         = flag.Int64("seed", 1, "corpus seed")
-		workers      = flag.Int("workers", 4, "default /v1/batch worker-pool size")
-		cacheCap     = flag.Int("cache", 4096, "LLM response cache capacity in entries (0 disables)")
-		jobRunners   = flag.Int("job-runners", 2, "concurrent async jobs (runner goroutines; 0 disables /v1/jobs)")
-		jobQueue     = flag.Int("job-queue", 16, "async job admission-queue capacity (full queue => 429)")
-		jobTTL       = flag.Duration("job-ttl", 15*time.Minute, "how long finished jobs stay queryable")
-		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for running jobs")
+		addr           = flag.String("addr", ":8080", "listen address")
+		scale          = flag.Float64("scale", 0.1, "corpus scale")
+		seed           = flag.Int64("seed", 1, "corpus seed")
+		workers        = flag.Int("workers", 4, "default /v1/batch worker-pool size")
+		cacheCap       = flag.Int("cache", 4096, "LLM response cache capacity in entries (0 disables)")
+		jobRunners     = flag.Int("job-runners", 2, "concurrent async jobs (runner goroutines; 0 disables /v1/jobs)")
+		jobQueue       = flag.Int("job-queue", 16, "async job admission-queue capacity (full queue => 429)")
+		jobTTL         = flag.Duration("job-ttl", 15*time.Minute, "how long finished jobs stay queryable")
+		drainTimeout   = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for running jobs")
+		maxTenants     = flag.Int("max-tenants", 64, "registered-database cap; past it the least-recently-used tenant is evicted (0 disables the catalog)")
+		tenantIdleTTL  = flag.Duration("tenant-idle-ttl", 0, "evict tenants unused for this long (0 disables idle eviction)")
+		tenantCacheCap = flag.Int("tenant-cache", 1024, "per-tenant LLM cache capacity in entries (<0 disables)")
+		bootstrapSeeds = flag.String("bootstrap-seeds", "1,2", "comma-separated corpus seeds whose training splits train the catalog's shared warming models")
 	)
 	flag.Parse()
 
 	start := time.Now()
 	log.Printf("generating corpus (scale=%.2f) and training pipeline...", *scale)
 	corpus := spider.GenerateSmall(*seed, *scale)
-	var client llm.Client = llm.NewSim(llm.ChatGPT)
+	base := llm.Client(llm.NewSim(llm.ChatGPT))
+	client := base
 	var opts []service.Option
 	if *cacheCap > 0 {
 		cache := llm.NewCache(client, *cacheCap)
@@ -63,6 +78,27 @@ func main() {
 			Workers: *workers,
 			TTL:     *jobTTL,
 		}))
+	}
+	var cat *catalog.Catalog
+	if *maxTenants > 0 {
+		// The warming fallback trains on the union of several seed corpora:
+		// broader skeleton and vocabulary coverage than any single seed, so
+		// a freshly registered tenant's fallback pipeline generalizes
+		// better while its own models build.
+		boot := bootstrapExamples(corpus, *seed, *scale, *bootstrapSeeds)
+		var err error
+		cat, err = catalog.New(catalog.Config{
+			Client:     base, // tenants wrap the raw backend in their own caches
+			Fallback:   catalog.NewFallback(boot),
+			MaxTenants: *maxTenants,
+			IdleTTL:    *tenantIdleTTL,
+			CacheCap:   *tenantCacheCap,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts = append(opts, service.WithCatalog(cat))
+		log.Printf("catalog ready: fallback trained on %d bootstrap demonstrations, cap %d tenants", len(boot), *maxTenants)
 	}
 	pipeline := core.New(corpus.Train.Examples, client, core.DefaultConfig())
 	svc := service.New(pipeline, corpus, opts...)
@@ -107,4 +143,32 @@ func main() {
 	} else {
 		log.Printf("drained cleanly")
 	}
+	if cat != nil {
+		catCtx, cancelCat := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancelCat()
+		if err := cat.Close(catCtx); err != nil {
+			log.Printf("catalog drain cut short: %v", err)
+		}
+	}
+}
+
+// bootstrapExamples unions the training splits of the configured bootstrap
+// seeds (reusing the already-generated main corpus for its own seed).
+func bootstrapExamples(main *spider.Corpus, mainSeed int64, scale float64, seeds string) []*spider.Example {
+	out := append([]*spider.Example(nil), main.Train.Examples...)
+	for _, f := range strings.Split(seeds, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		s, err := strconv.ParseInt(f, 10, 64)
+		if err != nil {
+			log.Fatalf("bad -bootstrap-seeds entry %q: %v", f, err)
+		}
+		if s == mainSeed {
+			continue
+		}
+		out = append(out, spider.GenerateSmall(s, scale).Train.Examples...)
+	}
+	return out
 }

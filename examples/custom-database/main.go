@@ -1,123 +1,196 @@
-// Custom-database: use the library's components directly on a hand-built
-// schema — the integration path for a real deployment where the LLM call is
-// an external service. It shows (1) schema pruning with the trained
-// classifier + Steiner tree, (2) skeleton prediction, (3) automaton-based
-// demonstration selection, (4) prompt assembly, and (5) the database-
-// adaption fixers repairing hallucinated SQL against the custom schema.
+// Custom-database: bring your own schema over the multi-tenant HTTP API —
+// the integration path for a real deployment. The program starts an
+// in-process server, then acts as a pure HTTP client: it (1) registers a
+// hand-built bookstore database with demonstrations via POST /v1/databases,
+// (2) observes the warming→ready transition as the tenant's own models
+// train asynchronously, (3) gets tenant-scoped translations and SQL
+// execution, (4) re-registers a revised schema and watches the version
+// bump, and (5) reads the per-tenant counters off /v1/stats.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"time"
 
-	"repro/internal/adaption"
-	"repro/internal/classifier"
-	"repro/internal/prompt"
-	"repro/internal/schema"
-	"repro/internal/selection"
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/llm"
+	"repro/internal/service"
 	"repro/internal/spider"
-	"repro/internal/sqlir"
-
-	"repro/internal/automaton"
-	"repro/internal/predictor"
 )
 
-func customDB() *schema.Database {
-	return &schema.Database{
+// registration is the POST /v1/databases body: the bookstore schema plus a
+// demonstration pool annotated with gold SQL — on a real deployment these
+// would be your warehouse's annotated queries.
+func registration() service.RegisterRequest {
+	return service.RegisterRequest{
 		Name: "bookstore",
-		Tables: []*schema.Table{
+		Tables: []service.TableSpec{
 			{
-				Name: "publisher", NLName: "publisher", PrimaryKey: "id",
-				Columns: []schema.Column{
-					{Name: "id", Type: schema.TypeNumber, NLName: "id"},
-					{Name: "publisher_name", Type: schema.TypeText, NLName: "publisher name"},
-					{Name: "city", Type: schema.TypeText, NLName: "city"},
+				Name: "publisher", PrimaryKey: "id",
+				Columns: []service.ColumnSpec{
+					{Name: "id", Type: "number"},
+					{Name: "publisher_name", NLName: "publisher name"},
+					{Name: "city"},
 				},
-				Rows: [][]schema.Value{
-					{schema.N(1), schema.S("Norton"), schema.S("Springfield")},
-					{schema.N(2), schema.S("Viking"), schema.S("Riverton")},
+				Rows: [][]any{
+					{1, "Norton", "Springfield"},
+					{2, "Viking", "Riverton"},
 				},
 			},
 			{
-				Name: "book", NLName: "book", PrimaryKey: "id",
-				Columns: []schema.Column{
-					{Name: "id", Type: schema.TypeNumber, NLName: "id"},
-					{Name: "publisher_id", Type: schema.TypeNumber, NLName: "publisher id"},
-					{Name: "title", Type: schema.TypeText, NLName: "title"},
-					{Name: "price", Type: schema.TypeNumber, NLName: "price"},
+				Name: "book", PrimaryKey: "id",
+				Columns: []service.ColumnSpec{
+					{Name: "id", Type: "number"},
+					{Name: "publisher_id", Type: "number", NLName: "publisher id"},
+					{Name: "title"},
+					{Name: "price", Type: "number"},
 				},
-				Rows: [][]schema.Value{
-					{schema.N(1), schema.N(1), schema.S("Gopher Tales"), schema.N(12)},
-					{schema.N(2), schema.N(2), schema.S("SQL at Dusk"), schema.N(30)},
-					{schema.N(3), schema.N(1), schema.S("Steiner Trees"), schema.N(25)},
+				Rows: [][]any{
+					{1, 1, "Gopher Tales", 12},
+					{2, 2, "SQL at Dusk", 30},
+					{3, 1, "Steiner Trees", 25},
 				},
 			},
 		},
-		ForeignKeys: []schema.ForeignKey{
+		ForeignKeys: []service.ForeignKeySpec{
 			{FromTable: "book", FromColumn: "publisher_id", ToTable: "publisher", ToColumn: "id"},
+		},
+		Demos: []catalog.Demo{
+			{NL: "What are the titles of books published by a publisher whose city is Springfield?",
+				SQL: "SELECT T1.title FROM book AS T1 JOIN publisher AS T2 ON T1.publisher_id = T2.id WHERE T2.city = 'Springfield'"},
+			{NL: "How many books does each publisher have?",
+				SQL: "SELECT T2.publisher_name, COUNT(*) FROM book AS T1 JOIN publisher AS T2 ON T1.publisher_id = T2.id GROUP BY T2.publisher_name"},
+			{NL: "List all book titles ordered by price.",
+				SQL: "SELECT title FROM book ORDER BY price"},
+			{NL: "What is the most expensive book?",
+				SQL: "SELECT title FROM book ORDER BY price DESC LIMIT 1"},
 		},
 	}
 }
 
 func main() {
-	// Train the substrate models on the benchmark's training split — on a
-	// real deployment these would be your annotated warehouse queries.
+	// Server side: a small benchmark corpus trains the default pipeline and
+	// the catalog's shared warming models. A real deployment runs
+	// cmd/nl2sql-server instead; everything below the ---- line is plain
+	// HTTP and works identically against it.
 	corpus := spider.GenerateSmall(9, 0.06)
-	clf := classifier.Train(corpus.Train.Examples)
-	pred := predictor.Train(corpus.Train.Examples)
-	var skeletons [][]string
-	var demos []prompt.Demo
-	for _, e := range corpus.Train.Examples {
-		skeletons = append(skeletons, sqlir.Skeleton(e.Gold))
-		demos = append(demos, prompt.Demo{DB: e.DB, NL: e.NL, SQL: e.GoldSQL})
+	client := llm.NewSim(llm.ChatGPT)
+	cat, err := catalog.New(catalog.Config{
+		Client:   client,
+		Fallback: catalog.NewFallback(corpus.Train.Examples),
+	})
+	if err != nil {
+		log.Fatal(err)
 	}
-	hier := automaton.BuildHierarchy(skeletons)
+	pipeline := core.New(corpus.Train.Examples, client, core.DefaultConfig())
+	svc := service.New(pipeline, corpus, service.WithCatalog(cat))
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
 
-	db := customDB()
-	nl := "What are the titles of books published by a publisher whose city is Springfield?"
+	// ---- client side: the HTTP integration path ----
 
-	// 1. Schema pruning.
-	pruned := classifier.Prune(clf, nl, db, classifier.DefaultPruneConfig())
-	fmt.Println("pruned schema keeps tables:", pruned.KeptTables)
+	// 1. Register the database. The response is immediate: the tenant
+	// serves from shared fallback models ("warming") while its own train.
+	var status service.DatabaseStatusResponse
+	post(ts.URL+"/v1/databases", registration(), &status)
+	fmt.Printf("registered %q: state=%s version=%d tables=%v\n",
+		status.Name, status.State, status.Version, status.Tables)
 
-	// 2. Skeleton prediction (top-3 with probabilities).
-	preds := pred.Predict(nl, 3)
-	var predTokens [][]string
-	for i, p := range preds {
-		fmt.Printf("skeleton %d (p=%.2f): %s\n", i+1, p.Prob, p.Skeleton())
-		predTokens = append(predTokens, p.Tokens)
+	// 2. Warming tenants already translate; poll until the async model
+	// build publishes the ready snapshot.
+	for deadline := time.Now().Add(10 * time.Second); status.State != "ready"; {
+		if time.Now().After(deadline) {
+			log.Fatal("tenant never became ready")
+		}
+		time.Sleep(20 * time.Millisecond)
+		get(ts.URL+"/v1/databases/bookstore", &status)
 	}
+	fmt.Printf("tenant ready: version=%d built at %s\n", status.Version, status.Built)
 
-	// 3. Demonstration selection via the four-level automaton (Algorithm 1).
-	order := selection.Select(hier, predTokens, selection.Options{})
-	fmt.Printf("selected %d demonstrations; first picks:\n", len(order))
-	for _, i := range order[:min(3, len(order))] {
-		fmt.Println("  ", demos[i].SQL)
+	// 3. Tenant-scoped translation: the pipeline prunes the bookstore
+	// schema, selects demonstrations from the registered pool, and repairs
+	// hallucinations against the bookstore database.
+	var tr service.TranslateResponse
+	post(ts.URL+"/v1/translate", map[string]string{
+		"database": "bookstore",
+		"question": "What are the titles of books published by a publisher whose city is Springfield?",
+	}, &tr)
+	fmt.Printf("translated (state=%s): %s\n  exec_match=%v demos_used=%d\n",
+		tr.State, tr.SQL, *tr.ExecMatch, tr.DemosUsed)
+
+	// 4. Execute SQL against the registered rows through the tenant's
+	// prepared-statement cache.
+	var ex service.ExecuteResponse
+	post(ts.URL+"/v1/execute", map[string]string{
+		"database": "bookstore",
+		"sql":      "SELECT title, price FROM book ORDER BY price DESC",
+	}, &ex)
+	fmt.Printf("executed: columns=%v rows=%v\n", ex.Columns, ex.Rows)
+
+	// 5. Re-register with a revised schema: the version bumps, plans for
+	// the retired schema are invalidated, and in-flight requests keep the
+	// old snapshot until they finish.
+	rev := registration()
+	rev.Tables[1].Columns = append(rev.Tables[1].Columns, service.ColumnSpec{Name: "year", Type: "number"})
+	for i := range rev.Tables[1].Rows {
+		rev.Tables[1].Rows[i] = append(rev.Tables[1].Rows[i], 2000+i)
 	}
+	put(ts.URL+"/v1/databases/bookstore", rev, &status)
+	fmt.Printf("re-registered: state=%s version=%d\n", status.State, status.Version)
 
-	// 4. Prompt assembly under a 2048-token budget — this text is what a
-	// real LLM service would receive.
-	var ordered []prompt.Demo
-	for _, i := range order {
-		ordered = append(ordered, demos[i])
+	// 6. Per-tenant observability on /v1/stats.
+	var stats struct {
+		Catalog *catalog.Stats `json:"catalog"`
 	}
-	built := prompt.Build("", ordered, pruned.DB, nl, 2048)
-	fmt.Printf("prompt: %d tokens, %d demonstrations\n", built.InputTokens, built.DemosUsed)
-
-	// 5. Database adaption: repair typical hallucinations from the LLM.
-	fixer := &adaption.Fixer{DB: db}
-	for _, buggy := range []string{
-		"SELECT T2.title FROM book AS T1 JOIN publisher AS T2 ON T1.publisher_id = T2.id WHERE T2.city = 'Springfield'",
-		"SELECT CONCAT(title, ' by ', publisher_name) FROM book JOIN publisher ON publisher_id = publisher.id",
-		"SELECT titles FROM book",
-	} {
-		fixed, ok := fixer.Adapt(buggy)
-		fmt.Printf("buggy: %s\nfixed: %s (executable=%v)\n\n", buggy, fixed, ok)
+	get(ts.URL+"/v1/stats", &stats)
+	for _, t := range stats.Catalog.Tenants {
+		fmt.Printf("stats: tenant=%s state=%s v%d lookups=%d translations=%d avg=%.1fms\n",
+			t.Name, t.State, t.Version, t.Lookups, t.Translations, t.AvgTranslateMs)
 	}
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
+func post(url string, body, out any) { send(http.MethodPost, url, body, out) }
+func put(url string, body, out any)  { send(http.MethodPut, url, body, out) }
+
+func send(method, url string, body, out any) {
+	b, err := json.Marshal(body)
+	if err != nil {
+		log.Fatal(err)
 	}
-	return b
+	req, err := http.NewRequest(method, url, bytes.NewReader(b))
+	if err != nil {
+		log.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	do(req, out)
+}
+
+func get(url string, out any) {
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	do(req, out)
+}
+
+func do(req *http.Request, out any) {
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		var msg bytes.Buffer
+		msg.ReadFrom(resp.Body)
+		log.Fatalf("%s %s: %s: %s", req.Method, req.URL.Path, resp.Status, msg.String())
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -45,6 +45,69 @@ const (
 	ReexecInstances = 6
 )
 
+// DemoSpec is one tenant demonstration (NL question + gold SQL) for the
+// catalog benchmarks. It deliberately avoids importing internal/catalog so
+// that package's own tests can share the fixture without an import cycle.
+type DemoSpec struct{ NL, SQL string }
+
+// TenantDB builds the two-table tenant schema (shop, item) used by the
+// catalog registration/lookup benchmarks; extraCols appends text columns
+// to the item table to vary the schema fingerprint.
+func TenantDB(name string, extraCols ...string) *schema.Database {
+	items := &schema.Table{
+		Name: "item", NLName: "item", PrimaryKey: "id",
+		Columns: []schema.Column{
+			{Name: "id", Type: schema.TypeNumber, NLName: "id"},
+			{Name: "shop_id", Type: schema.TypeNumber, NLName: "shop id"},
+			{Name: "label", Type: schema.TypeText, NLName: "label"},
+			{Name: "price", Type: schema.TypeNumber, NLName: "price"},
+		},
+		Rows: [][]schema.Value{
+			{schema.N(1), schema.N(1), schema.S("apple"), schema.N(3)},
+			{schema.N(2), schema.N(1), schema.S("pear"), schema.N(5)},
+			{schema.N(3), schema.N(2), schema.S("quince"), schema.N(7)},
+		},
+	}
+	for _, c := range extraCols {
+		items.Columns = append(items.Columns, schema.Column{Name: c, Type: schema.TypeText, NLName: c})
+		for i := range items.Rows {
+			items.Rows[i] = append(items.Rows[i], schema.S("x"))
+		}
+	}
+	return &schema.Database{
+		Name: name,
+		Tables: []*schema.Table{
+			{
+				Name: "shop", NLName: "shop", PrimaryKey: "id",
+				Columns: []schema.Column{
+					{Name: "id", Type: schema.TypeNumber, NLName: "id"},
+					{Name: "shop_name", Type: schema.TypeText, NLName: "shop name"},
+				},
+				Rows: [][]schema.Value{
+					{schema.N(1), schema.S("corner")},
+					{schema.N(2), schema.S("market")},
+				},
+			},
+			items,
+		},
+		ForeignKeys: []schema.ForeignKey{
+			{FromTable: "item", FromColumn: "shop_id", ToTable: "shop", ToColumn: "id"},
+		},
+	}
+}
+
+// TenantDemos is the demonstration pool registered with TenantDB.
+func TenantDemos() []DemoSpec {
+	return []DemoSpec{
+		{NL: "What are the labels of items sold by the shop named corner?",
+			SQL: "SELECT T1.label FROM item AS T1 JOIN shop AS T2 ON T1.shop_id = T2.id WHERE T2.shop_name = 'corner'"},
+		{NL: "How many items does each shop sell?",
+			SQL: "SELECT T2.shop_name, COUNT(*) FROM item AS T1 JOIN shop AS T2 ON T1.shop_id = T2.id GROUP BY T2.shop_name"},
+		{NL: "List all item labels ordered by price.",
+			SQL: "SELECT label FROM item ORDER BY price"},
+	}
+}
+
 // DB builds the three-table FK chain (grandparent g, parent p, child c)
 // used by the executor benchmarks, deterministic in rows.
 func DB(rows int) *schema.Database {

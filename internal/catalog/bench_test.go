@@ -1,0 +1,133 @@
+package catalog
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/llm"
+)
+
+func benchCatalog(b *testing.B, cfg Config) *Catalog {
+	b.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		c.Close(ctx)
+	})
+	return c
+}
+
+func benchConfig() Config {
+	return Config{Client: llm.NewSim(llm.ChatGPT), Fallback: testFallback()}
+}
+
+// BenchmarkRegister measures the synchronous registration cost: validation,
+// demo parsing, and warming-snapshot construction (the async model build is
+// excluded by design — that is the point of the warming state).
+func BenchmarkRegister(b *testing.B) {
+	cfg := benchConfig()
+	cfg.MaxTenants = 1 << 20 // no eviction churn in the measurement
+	cfg.BuildQueue = 1 << 20
+	cfg.BuildRunners = 8
+	c := benchCatalog(b, cfg)
+	demos := shopDemos()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Register(Registration{DB: shopDB(fmt.Sprintf("bench%d", i)), Demos: demos}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReregisterSwap measures the snapshot-swap path: version bump,
+// fingerprint invalidation and RCU publish over an existing tenant.
+func BenchmarkReregisterSwap(b *testing.B) {
+	cfg := benchConfig()
+	cfg.BuildQueue = 1 << 20
+	cfg.BuildRunners = 8
+	c := benchCatalog(b, cfg)
+	demos := shopDemos()
+	if _, err := c.Register(Registration{DB: shopDB("swap"), Demos: demos}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Reregister(Registration{DB: shopDB("swap"), Demos: demos}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLookup measures the hot-path tenant resolution: two atomic
+// loads plus counter bumps, no locks.
+func BenchmarkLookup(b *testing.B) {
+	c := benchCatalog(b, benchConfig())
+	for i := 0; i < 16; i++ {
+		if _, err := c.Register(Registration{DB: shopDB(fmt.Sprintf("t%d", i)), Demos: shopDemos()}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tn, ok := c.Lookup("t7")
+		if !ok || tn.Snapshot() == nil {
+			b.Fatal("lookup failed")
+		}
+	}
+}
+
+// BenchmarkLookupParallel16 drives the lookup hot path from 16 goroutines.
+// Because the read side is lock-free (RCU snapshot pointers), per-op time
+// should scale with available cores rather than collapse under contention —
+// run with -race locally to double as the contention regression check.
+func BenchmarkLookupParallel16(b *testing.B) {
+	c := benchCatalog(b, benchConfig())
+	for i := 0; i < 16; i++ {
+		if _, err := c.Register(Registration{DB: shopDB(fmt.Sprintf("t%d", i)), Demos: shopDemos()}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var names [16]string
+	for i := range names {
+		names[i] = fmt.Sprintf("t%d", i)
+	}
+	b.SetParallelism(16) // 16 goroutines per GOMAXPROCS unit of 1
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			tn, ok := c.Lookup(names[i&15])
+			i++
+			if !ok || tn.Snapshot() == nil {
+				b.Fatal("lookup failed")
+			}
+		}
+	})
+}
+
+// BenchmarkOracle measures question->demo resolution, the per-request cost
+// tenant-scoped translation adds on top of the pipeline.
+func BenchmarkOracle(b *testing.B) {
+	c := benchCatalog(b, benchConfig())
+	snap, err := c.Register(Registration{DB: shopDB("oracle"), Demos: shopDemos()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := snap.Oracle("How many items does each shop sell?"); !ok {
+			b.Fatal("oracle miss")
+		}
+	}
+}

@@ -1,0 +1,591 @@
+// Package catalog is the multi-tenant database registry: the subsystem
+// that turns PURPLE's per-database premise — translation quality comes from
+// a database-specific demonstration pool and pruned schema — into a runtime
+// capability. Databases register over the service API, get a per-tenant
+// pipeline (schema, demo pool, trained models, automaton hierarchy, LLM
+// cache, plan cache) bundled into an immutable Snapshot, and come and go
+// without a restart.
+//
+// Concurrency model (RCU-style): the tenant table is an atomically swapped
+// copy-on-write map and each tenant's Snapshot is an atomically swapped
+// pointer, so the translate/execute hot path does two atomic loads and
+// takes no lock. Writers (register, re-register, evict) serialize on one
+// mutex, build the new state aside, and publish it with a pointer swap;
+// requests already holding the old snapshot finish against a consistent
+// view and the garbage collector reclaims it when they drain.
+//
+// Registration is cheap and synchronous: the schema is validated and
+// fingerprinted, demos parsed, and a *warming* snapshot — the tenant's own
+// demos over the catalog's shared fallback models — is published
+// immediately. The expensive artifacts (tenant-trained classifier and
+// predictor) build asynchronously through the jobs machinery; when the
+// build lands the snapshot swaps to *ready*. Re-registration bumps the
+// version, invalidates the retired fingerprint's plans in the shared
+// sqlexec cache, and discards any in-flight build for the old version.
+package catalog
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/classifier"
+	"repro/internal/core"
+	"repro/internal/jobs"
+	"repro/internal/llm"
+	"repro/internal/predictor"
+	"repro/internal/spider"
+	"repro/internal/sqlexec"
+)
+
+// Typed errors surfaced to the service layer.
+var (
+	// ErrExists is returned by Register for an already-registered name; the
+	// service maps it to HTTP 409. Use Reregister to replace.
+	ErrExists = errors.New("catalog: database already registered")
+	// ErrNotFound is returned for an unknown tenant name.
+	ErrNotFound = errors.New("catalog: no such database")
+	// ErrBusy is returned when the async build queue cannot admit the
+	// registration's model build; the service maps it to HTTP 429.
+	ErrBusy = errors.New("catalog: build queue full")
+	// ErrClosed is returned after Close.
+	ErrClosed = errors.New("catalog: closed")
+)
+
+// Fallback bundles the shared substrate models that serve a tenant while
+// its own models train: a classifier and predictor fitted on a bootstrap
+// corpus. One Fallback is shared read-only by every warming tenant.
+type Fallback struct {
+	Clf  *classifier.Model
+	Pred *predictor.Model
+}
+
+// NewFallback trains fallback models on a bootstrap demonstration set
+// (typically the union of several seed corpora's training splits).
+func NewFallback(train []*spider.Example) *Fallback {
+	return &Fallback{Clf: classifier.Train(train), Pred: predictor.Train(train)}
+}
+
+// Config parameterizes a Catalog. Client and Fallback are required.
+type Config struct {
+	// Client is the base LLM backend shared by every tenant (each tenant
+	// wraps it in its own cache when CacheCap > 0).
+	Client llm.Client
+	// Fallback supplies the shared warming models.
+	Fallback *Fallback
+	// Pipeline is the per-tenant pipeline configuration (nil selects
+	// core.DefaultConfig).
+	Pipeline *core.Config
+	// MaxTenants caps the registry; registering past it LRU-evicts the
+	// least-recently-used tenant (default 64).
+	MaxTenants int
+	// IdleTTL evicts tenants unused for this long (0 disables the janitor).
+	IdleTTL time.Duration
+	// CacheCap is the per-tenant LLM cache capacity in entries (default
+	// 1024; negative disables caching).
+	CacheCap int
+	// PlanCacheCap is the per-tenant prepared-statement cache capacity
+	// (default 128).
+	PlanCacheCap int
+	// BuildRunners and BuildQueue size the owned async-build manager
+	// (defaults 2 and 64). Ignored when Jobs is set.
+	BuildRunners, BuildQueue int
+	// Jobs, when non-nil, is an external jobs manager the catalog submits
+	// its builds to instead of owning one. The caller keeps responsibility
+	// for its lifecycle.
+	Jobs *jobs.Manager
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxTenants <= 0 {
+		c.MaxTenants = 64
+	}
+	if c.CacheCap == 0 {
+		c.CacheCap = 1024
+	}
+	if c.PlanCacheCap <= 0 {
+		c.PlanCacheCap = 128
+	}
+	if c.BuildRunners <= 0 {
+		c.BuildRunners = 2
+	}
+	if c.BuildQueue <= 0 {
+		c.BuildQueue = 64
+	}
+	return c
+}
+
+// Tenant is one registered database. Snapshot is the only method hot paths
+// need; the Record* methods feed the per-tenant counters surfaced on
+// /v1/stats. All methods are safe for concurrent use without locks.
+type Tenant struct {
+	key  string // lower-cased name, the map key
+	snap atomic.Pointer[Snapshot]
+	gen  atomic.Int64 // registration generation; stale builds compare it
+
+	lastUsed     atomic.Int64 // unix nanos
+	lookups      atomic.Int64
+	translations atomic.Int64
+	execs        atomic.Int64
+	translateNs  atomic.Int64
+}
+
+// Snapshot returns the tenant's current immutable snapshot.
+func (t *Tenant) Snapshot() *Snapshot { return t.snap.Load() }
+
+// RecordTranslate accounts one translation and its latency.
+func (t *Tenant) RecordTranslate(d time.Duration) {
+	t.translations.Add(1)
+	t.translateNs.Add(int64(d))
+}
+
+// RecordExec accounts one /execute query.
+func (t *Tenant) RecordExec() { t.execs.Add(1) }
+
+func (t *Tenant) touch(now time.Time) {
+	t.lastUsed.Store(now.UnixNano())
+	t.lookups.Add(1)
+}
+
+// TenantStats is one tenant's row in Stats.
+type TenantStats struct {
+	Name         string `json:"name"`
+	State        string `json:"state"`
+	Version      int    `json:"version"`
+	Tables       int    `json:"tables"`
+	Demos        int    `json:"demos"`
+	Lookups      int64  `json:"lookups"`
+	Translations int64  `json:"translations"`
+	Executions   int64  `json:"executions"`
+	// AvgTranslateMs is mean translation latency in milliseconds (0 before
+	// any translation).
+	AvgTranslateMs float64 `json:"avg_translate_ms"`
+	// LLM cache counters for the tenant's current snapshot (zero when
+	// caching is disabled).
+	CacheHits   int64     `json:"cache_hits"`
+	CacheMisses int64     `json:"cache_misses"`
+	Registered  time.Time `json:"registered"`
+	LastUsed    time.Time `json:"last_used,omitempty"`
+}
+
+// Stats is the catalog-wide observability snapshot.
+type Stats struct {
+	Tenants []TenantStats `json:"tenants"`
+	// MaxTenants echoes the configured cap.
+	MaxTenants int `json:"max_tenants"`
+	// Lifetime counters.
+	Registered   int64 `json:"registered"`
+	Reregistered int64 `json:"reregistered"`
+	Deregistered int64 `json:"deregistered"`
+	Evicted      int64 `json:"evicted"`
+	BuildsDone   int64 `json:"builds_done"`
+	BuildsStale  int64 `json:"builds_stale"`
+	BuildsFailed int64 `json:"builds_failed"`
+}
+
+type tenantMap map[string]*Tenant
+
+// Catalog is the concurrency-safe tenant registry.
+type Catalog struct {
+	cfg     Config
+	tenants atomic.Pointer[tenantMap]
+
+	mu        sync.Mutex // serializes writers; never held on the read path
+	closed    bool
+	counters  Stats // only the lifetime counter fields are maintained here
+	builds    *jobs.Manager
+	ownsBuild bool
+
+	// now is the clock, swappable by tests for idle-eviction determinism.
+	now func() time.Time
+
+	stopJanitor chan struct{}
+	janitorDone chan struct{}
+}
+
+// New validates cfg and builds an empty catalog (starting the idle janitor
+// when IdleTTL > 0). Call Close to stop background work.
+func New(cfg Config) (*Catalog, error) {
+	if cfg.Client == nil {
+		return nil, fmt.Errorf("catalog: Config.Client is required")
+	}
+	if cfg.Fallback == nil {
+		return nil, fmt.Errorf("catalog: Config.Fallback is required")
+	}
+	cfg = cfg.withDefaults()
+	c := &Catalog{
+		cfg:         cfg,
+		now:         time.Now,
+		stopJanitor: make(chan struct{}),
+		janitorDone: make(chan struct{}),
+	}
+	empty := tenantMap{}
+	c.tenants.Store(&empty)
+	if cfg.Jobs != nil {
+		c.builds = cfg.Jobs
+	} else {
+		// The build manager reuses the jobs subsystem's admission queue,
+		// runner pool and drain; builds are Run-style jobs, so no
+		// translator is needed.
+		c.builds = jobs.NewManager(nil, jobs.Config{
+			Runners: cfg.BuildRunners,
+			Queue:   cfg.BuildQueue,
+			TTL:     time.Minute,
+		})
+		c.ownsBuild = true
+	}
+	if cfg.IdleTTL > 0 {
+		go c.janitor()
+	} else {
+		close(c.janitorDone)
+	}
+	return c, nil
+}
+
+// Lookup resolves a tenant by name on the lock-free hot path: one atomic
+// map load, one hash lookup, and atomic counter bumps.
+func (c *Catalog) Lookup(name string) (*Tenant, bool) {
+	m := c.tenants.Load()
+	t, ok := (*m)[strings.ToLower(name)]
+	if !ok {
+		return nil, false
+	}
+	t.touch(c.now())
+	return t, true
+}
+
+// Len reports the number of registered tenants.
+func (c *Catalog) Len() int { return len(*c.tenants.Load()) }
+
+// List snapshots every tenant, sorted by name.
+func (c *Catalog) List() []*Snapshot {
+	m := c.tenants.Load()
+	out := make([]*Snapshot, 0, len(*m))
+	for _, t := range *m {
+		out = append(out, t.Snapshot())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Register admits a new database, publishing a warming snapshot
+// synchronously and scheduling the model build. It fails with ErrExists
+// for a duplicate name (use Reregister to replace) and ErrBusy when the
+// build queue cannot admit the work.
+func (c *Catalog) Register(reg Registration) (*Snapshot, error) {
+	return c.register(reg, false)
+}
+
+// Reregister registers a database, replacing any existing tenant of the
+// same name: the version bumps, the retired schema fingerprint's plans are
+// invalidated in the shared sqlexec cache, and the snapshot swaps without
+// dropping in-flight requests (they finish against the old snapshot).
+func (c *Catalog) Reregister(reg Registration) (*Snapshot, error) {
+	return c.register(reg, true)
+}
+
+func (c *Catalog) register(reg Registration, replace bool) (*Snapshot, error) {
+	if err := ValidateDatabase(reg.DB); err != nil {
+		return nil, err
+	}
+	demos, err := parseDemos(reg.DB, reg.Demos)
+	if err != nil {
+		return nil, err
+	}
+	key := strings.ToLower(reg.DB.Name)
+
+	// Build the warming snapshot outside the lock: the pipeline over the
+	// tenant's demos with the shared fallback models. This is the cheap
+	// part — hierarchy construction and demo rendering scale with the demo
+	// pool, not the bootstrap corpus.
+	client := c.cfg.Client
+	var cache *llm.Cache
+	if c.cfg.CacheCap > 0 {
+		cache = llm.NewCache(client, c.cfg.CacheCap)
+		client = cache
+	}
+	pcfg := core.DefaultConfig()
+	if c.cfg.Pipeline != nil {
+		pcfg = *c.cfg.Pipeline
+	}
+	warming := &Snapshot{
+		Name:        reg.DB.Name,
+		State:       StateWarming,
+		Fingerprint: reg.DB.Fingerprint(),
+		DB:          reg.DB,
+		Demos:       demos,
+		Pipeline:    core.NewWithModels(demos, client, pcfg, c.cfg.Fallback.Clf, c.cfg.Fallback.Pred),
+		Cache:       cache,
+		Plans:       sqlexec.NewPlanCache(c.cfg.PlanCacheCap),
+		Registered:  c.now(),
+	}
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	old := (*c.tenants.Load())[key]
+	if old != nil && !replace {
+		c.mu.Unlock()
+		return nil, ErrExists
+	}
+	t := old
+	version := 1
+	if old != nil {
+		version = old.Snapshot().Version + 1
+	} else {
+		t = &Tenant{key: key}
+		t.lastUsed.Store(c.now().UnixNano())
+	}
+	warming.Version = version
+	// The new generation is published only after the build is admitted: a
+	// rejected re-register must leave the old version — including its
+	// still-pending build, if any — fully intact.
+	gen := t.gen.Load() + 1
+
+	// Admission-check the build before publishing: a registration whose
+	// models could never train must not half-exist.
+	buildReq := jobs.Request{
+		Label: "catalog-build " + key + " v" + fmt.Sprint(version),
+		Run:   c.buildFn(t, gen, warming, client, pcfg),
+	}
+	if _, err := c.builds.Submit(buildReq); err != nil {
+		c.mu.Unlock()
+		switch {
+		case errors.Is(err, jobs.ErrQueueFull):
+			return nil, ErrBusy
+		case errors.Is(err, jobs.ErrShuttingDown):
+			// An external build manager draining means the process is going
+			// away; surface the retry-elsewhere condition, not a client error.
+			return nil, ErrClosed
+		}
+		return nil, err
+	}
+	t.gen.Store(gen)
+
+	var retiredFP uint64
+	if old != nil {
+		oldSnap := old.Snapshot()
+		if oldSnap.Fingerprint != warming.Fingerprint {
+			retiredFP = oldSnap.Fingerprint
+		}
+		c.counters.Reregistered++
+	} else {
+		c.counters.Registered++
+	}
+	t.snap.Store(warming)
+	if old == nil {
+		c.swapTenants(func(m tenantMap) { m[key] = t })
+		c.evictOverCapLocked(t)
+	}
+	c.mu.Unlock()
+
+	if retiredFP != 0 {
+		// The shared plan cache serves the eval/adaption execution paths;
+		// plans compiled against the retired schema version must go.
+		sqlexec.Shared.InvalidateFingerprint(retiredFP)
+	}
+	return warming, nil
+}
+
+// buildFn returns the async build body: train the tenant's own models,
+// assemble the ready snapshot, and publish it — unless a newer registration
+// or an eviction retired this generation first.
+func (c *Catalog) buildFn(t *Tenant, gen int64, warming *Snapshot, client llm.Client, pcfg core.Config) func(context.Context) error {
+	return func(ctx context.Context) error {
+		clf := classifier.Train(warming.Demos)
+		if err := ctx.Err(); err != nil {
+			return c.buildFailed(err)
+		}
+		pred := predictor.Train(warming.Demos)
+		if err := ctx.Err(); err != nil {
+			return c.buildFailed(err)
+		}
+		ready := *warming
+		ready.State = StateReady
+		ready.Pipeline = core.NewWithModels(warming.Demos, client, pcfg, clf, pred)
+		ready.Built = c.now()
+
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		current := (*c.tenants.Load())[t.key]
+		if current != t || t.gen.Load() != gen {
+			c.counters.BuildsStale++
+			return nil
+		}
+		t.snap.Store(&ready)
+		c.counters.BuildsDone++
+		return nil
+	}
+}
+
+// buildFailed accounts a build that errored out (cancellation during drain
+// being the realistic case) and passes the error through to the job; the
+// tenant keeps serving its warming snapshot.
+func (c *Catalog) buildFailed(err error) error {
+	c.mu.Lock()
+	c.counters.BuildsFailed++
+	c.mu.Unlock()
+	return err
+}
+
+// Deregister removes a tenant, invalidating its plans in the shared cache.
+func (c *Catalog) Deregister(name string) error {
+	key := strings.ToLower(name)
+	c.mu.Lock()
+	t, ok := (*c.tenants.Load())[key]
+	if !ok {
+		c.mu.Unlock()
+		return ErrNotFound
+	}
+	t.gen.Add(1) // retire any in-flight build
+	c.swapTenants(func(m tenantMap) { delete(m, key) })
+	c.counters.Deregistered++
+	fp := t.Snapshot().Fingerprint
+	c.mu.Unlock()
+	sqlexec.Shared.InvalidateFingerprint(fp)
+	return nil
+}
+
+// swapTenants publishes a mutated copy of the tenant map. Callers hold c.mu.
+func (c *Catalog) swapTenants(mutate func(m tenantMap)) {
+	old := c.tenants.Load()
+	next := make(tenantMap, len(*old)+1)
+	for k, v := range *old {
+		next[k] = v
+	}
+	mutate(next)
+	c.tenants.Store(&next)
+}
+
+// evictOverCapLocked LRU-evicts tenants beyond MaxTenants, never evicting
+// keep (the tenant just registered). Callers hold c.mu.
+func (c *Catalog) evictOverCapLocked(keep *Tenant) {
+	m := *c.tenants.Load()
+	for len(m) > c.cfg.MaxTenants {
+		var victim *Tenant
+		for _, t := range m {
+			if t == keep {
+				continue
+			}
+			if victim == nil || t.lastUsed.Load() < victim.lastUsed.Load() {
+				victim = t
+			}
+		}
+		if victim == nil {
+			return
+		}
+		c.evictLocked(victim)
+		m = *c.tenants.Load()
+	}
+}
+
+// evictLocked removes one tenant. Callers hold c.mu. Plan invalidation of
+// the shared cache happens here too; the tenant's own caches die with it.
+func (c *Catalog) evictLocked(t *Tenant) {
+	t.gen.Add(1)
+	c.swapTenants(func(m tenantMap) { delete(m, t.key) })
+	c.counters.Evicted++
+	sqlexec.Shared.InvalidateFingerprint(t.Snapshot().Fingerprint)
+}
+
+// EvictIdle evicts every tenant idle since before now-IdleTTL and returns
+// how many went. The janitor calls it on a timer; tests may call it with a
+// synthetic clock.
+func (c *Catalog) EvictIdle(now time.Time) int {
+	if c.cfg.IdleTTL <= 0 {
+		return 0
+	}
+	cutoff := now.Add(-c.cfg.IdleTTL).UnixNano()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, t := range *c.tenants.Load() {
+		if t.lastUsed.Load() < cutoff {
+			c.evictLocked(t)
+			n++
+		}
+	}
+	return n
+}
+
+func (c *Catalog) janitor() {
+	defer close(c.janitorDone)
+	period := c.cfg.IdleTTL / 4
+	if period < time.Second {
+		period = time.Second
+	}
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.stopJanitor:
+			return
+		case now := <-tick.C:
+			c.EvictIdle(now)
+		}
+	}
+}
+
+// Stats snapshots catalog-wide and per-tenant counters, tenants sorted by
+// name.
+func (c *Catalog) Stats() Stats {
+	c.mu.Lock()
+	out := c.counters
+	c.mu.Unlock()
+	out.MaxTenants = c.cfg.MaxTenants
+	out.Tenants = []TenantStats{} // empty registry serializes as [], not null
+	for _, t := range *c.tenants.Load() {
+		s := t.Snapshot()
+		ts := TenantStats{
+			Name:         s.Name,
+			State:        string(s.State),
+			Version:      s.Version,
+			Tables:       len(s.DB.Tables),
+			Demos:        len(s.Demos),
+			Lookups:      t.lookups.Load(),
+			Translations: t.translations.Load(),
+			Executions:   t.execs.Load(),
+			Registered:   s.Registered,
+		}
+		if lu := t.lastUsed.Load(); lu > 0 {
+			ts.LastUsed = time.Unix(0, lu)
+		}
+		if n := ts.Translations; n > 0 {
+			ts.AvgTranslateMs = float64(t.translateNs.Load()) / float64(n) / 1e6
+		}
+		if s.Cache != nil {
+			cs := s.Cache.Stats()
+			ts.CacheHits, ts.CacheMisses = cs.Hits, cs.Misses
+		}
+		out.Tenants = append(out.Tenants, ts)
+	}
+	sort.Slice(out.Tenants, func(i, j int) bool { return out.Tenants[i].Name < out.Tenants[j].Name })
+	return out
+}
+
+// Close stops the janitor and, when the catalog owns its build manager,
+// drains it (in-flight builds get until ctx to finish). Registered tenants
+// keep serving lookups; only mutation is rejected afterwards.
+func (c *Catalog) Close(ctx context.Context) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		<-c.janitorDone
+		return nil
+	}
+	c.closed = true
+	close(c.stopJanitor)
+	c.mu.Unlock()
+	<-c.janitorDone
+	if c.ownsBuild {
+		return c.builds.Shutdown(ctx)
+	}
+	return nil
+}

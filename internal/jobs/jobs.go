@@ -100,6 +100,17 @@ type Request struct {
 	// TaskIDs is optional caller bookkeeping (e.g. benchmark task indices),
 	// echoed in Status; when set its length must match Examples.
 	TaskIDs []int
+	// Translator, when non-nil, overrides the manager's translator for this
+	// job — the multi-tenant catalog submits jobs against per-tenant
+	// pipelines through one shared manager.
+	Translator core.Translator
+	// Run, when non-nil, replaces batch translation as the job body: the
+	// runner invokes it with the job's context and the job finishes done,
+	// cancelled (when the error is context.Canceled) or failed on its
+	// return. Examples may be empty for Run jobs. This is how non-translation
+	// work — e.g. the catalog's model builds — rides the manager's admission
+	// queue, runner pool, TTL GC and drain.
+	Run func(ctx context.Context) error
 }
 
 // Status is a point-in-time snapshot of a job, safe to retain.
@@ -121,6 +132,10 @@ type Status struct {
 	Results []core.Translation
 	// Done flags which result slots completed (aligned with Results).
 	Done []bool
+	// Examples echoes the job's input tasks (aligned with Results) so
+	// result renderers need no side table; populated once the job is
+	// finished, like Results.
+	Examples []*spider.Example
 	// Err is the failure reason for StateFailed (empty otherwise).
 	Err string
 	// Workers is the engine pool size the job runs with.
@@ -138,6 +153,8 @@ type job struct {
 	taskIDs []int
 	ex      []*spider.Example
 	workers int
+	tr      core.Translator // per-job override; nil = manager default
+	runFn   func(ctx context.Context) error
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -174,6 +191,7 @@ func (j *job) snapshot() Status {
 	if j.state.Finished() {
 		st.Results = j.results
 		st.Done = j.done
+		st.Examples = j.ex
 	}
 	return st
 }
@@ -211,6 +229,20 @@ type Manager struct {
 	stopGC  chan struct{}
 	gcDone  chan struct{}
 	closeGC sync.Once
+
+	hookMu     sync.Mutex
+	evictHooks []func(ids []string)
+}
+
+// OnEvict registers a hook called with the IDs of jobs the TTL garbage
+// collector deletes. Hooks run outside the manager lock, after the jobs are
+// gone from the table; callers use them to drop per-job side state (the
+// service's memoized result renderings being the motivating case — without
+// the hook those outlive the jobs they belong to).
+func (m *Manager) OnEvict(fn func(ids []string)) {
+	m.hookMu.Lock()
+	m.evictHooks = append(m.evictHooks, fn)
+	m.hookMu.Unlock()
 }
 
 // NewManager builds a manager around any Translator and starts its runners
@@ -241,7 +273,7 @@ func (m *Manager) Config() Config { return m.cfg }
 // full queue fails with ErrQueueFull, a draining manager with
 // ErrShuttingDown.
 func (m *Manager) Submit(req Request) (Status, error) {
-	if len(req.Examples) == 0 {
+	if len(req.Examples) == 0 && req.Run == nil {
 		return Status{}, ErrEmpty
 	}
 	if req.TaskIDs != nil && len(req.TaskIDs) != len(req.Examples) {
@@ -271,6 +303,8 @@ func (m *Manager) Submit(req Request) (Status, error) {
 		taskIDs: req.TaskIDs,
 		ex:      req.Examples,
 		workers: workers,
+		tr:      req.Translator,
+		runFn:   req.Run,
 		ctx:     ctx,
 		cancel:  cancel,
 		state:   StateQueued,
@@ -397,15 +431,28 @@ func (m *Manager) run(j *job) {
 	m.running++
 	m.mu.Unlock()
 
-	eng := core.NewEngine(m.tr, j.workers)
-	results, stats, err := eng.TranslateBatchProgress(j.ctx, j.ex,
-		func(i int, _ core.Translation, sofar core.BatchStats) {
-			j.mu.Lock()
-			j.completed = sofar.Completed
-			j.stats = sofar
-			j.done[i] = true
-			j.mu.Unlock()
-		})
+	var (
+		results []core.Translation
+		stats   core.BatchStats
+		err     error
+	)
+	if j.runFn != nil {
+		err = j.runFn(j.ctx)
+	} else {
+		tr := m.tr
+		if j.tr != nil {
+			tr = j.tr
+		}
+		eng := core.NewEngine(tr, j.workers)
+		results, stats, err = eng.TranslateBatchProgress(j.ctx, j.ex,
+			func(i int, _ core.Translation, sofar core.BatchStats) {
+				j.mu.Lock()
+				j.completed = sofar.Completed
+				j.stats = sofar
+				j.done[i] = true
+				j.mu.Unlock()
+			})
+	}
 
 	j.mu.Lock()
 	j.results = results
@@ -470,18 +517,26 @@ func (m *Manager) GC(now time.Time) int {
 	}
 	cutoff := now.Add(-m.cfg.TTL)
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	n := 0
+	var evicted []string
 	for id, j := range m.jobs {
 		j.mu.Lock()
 		dead := j.state.Finished() && j.finished.Before(cutoff)
 		j.mu.Unlock()
 		if dead {
 			delete(m.jobs, id)
-			n++
+			evicted = append(evicted, id)
 		}
 	}
-	return n
+	m.mu.Unlock()
+	if len(evicted) > 0 {
+		m.hookMu.Lock()
+		hooks := append([]func(ids []string){}, m.evictHooks...)
+		m.hookMu.Unlock()
+		for _, fn := range hooks {
+			fn(evicted)
+		}
+	}
+	return len(evicted)
 }
 
 // Shutdown drains the manager: admission stops immediately (Submit fails

@@ -564,3 +564,145 @@ func TestCancelQueuedFreesAdmissionSlot(t *testing.T) {
 	}
 	shutdownOrFail(t, m)
 }
+
+// TestRunJobs pins the generic-work path: a Run job rides the queue,
+// lifecycle and counters without a translator.
+func TestRunJobs(t *testing.T) {
+	m := NewManager(nil, Config{Runners: 1, Queue: 4})
+	defer shutdownOrFail(t, m)
+
+	done := make(chan struct{})
+	st, err := m.Submit(Request{Label: "build", Run: func(ctx context.Context) error {
+		close(done)
+		return nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("run job never executed")
+	}
+	final := waitFinished(t, m, st.ID)
+	if final.State != StateDone || final.Label != "build" || final.Total != 0 {
+		t.Fatalf("run job: %+v", final)
+	}
+
+	// A failing Run finishes failed with its error recorded.
+	st, err = m.Submit(Request{Run: func(ctx context.Context) error {
+		return fmt.Errorf("boom")
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final := waitFinished(t, m, st.ID); final.State != StateFailed || final.Err != "boom" {
+		t.Fatalf("failing run job: %+v", final)
+	}
+
+	// A Run that observes cancellation finishes cancelled.
+	gate := make(chan struct{})
+	st, err = m.Submit(Request{Run: func(ctx context.Context) error {
+		close(gate)
+		<-ctx.Done()
+		return ctx.Err()
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-gate
+	if _, err := m.Cancel(st.ID); err != nil {
+		t.Fatal(err)
+	}
+	if final := waitFinished(t, m, st.ID); final.State != StateCancelled {
+		t.Fatalf("cancelled run job: %+v", final)
+	}
+
+	// Neither Examples nor Run is still an empty request.
+	if _, err := m.Submit(Request{}); err != ErrEmpty {
+		t.Fatalf("empty submit: %v, want ErrEmpty", err)
+	}
+}
+
+// TestTranslatorOverride pins the per-job translator: one manager serves
+// jobs against different pipelines (the multi-tenant catalog's pattern).
+func TestTranslatorOverride(t *testing.T) {
+	m := NewManager(&stubTranslator{}, Config{Runners: 1, Queue: 4})
+	defer shutdownOrFail(t, m)
+
+	override := &offsetTranslator{offset: 1000}
+	st, err := m.Submit(Request{Examples: stubExamples(3, 0), Translator: override})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitFinished(t, m, st.ID)
+	if final.State != StateDone {
+		t.Fatalf("job: %+v", final)
+	}
+	for i, res := range final.Results {
+		want := fmt.Sprintf("SELECT %d", 1000+i)
+		if res.SQL != want {
+			t.Errorf("result %d = %q, want %q (override not used)", i, res.SQL, want)
+		}
+	}
+	if len(final.Examples) != 3 {
+		t.Errorf("finished status echoes %d examples, want 3", len(final.Examples))
+	}
+
+	// Without the override the manager default still applies.
+	st, err = m.Submit(Request{Examples: stubExamples(1, 7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final := waitFinished(t, m, st.ID); final.Results[0].SQL != "SELECT 7" {
+		t.Errorf("default translator bypassed: %+v", final.Results)
+	}
+}
+
+type offsetTranslator struct{ offset int }
+
+func (o *offsetTranslator) Name() string { return "offset" }
+func (o *offsetTranslator) Translate(e *spider.Example) core.Translation {
+	return core.Translation{SQL: fmt.Sprintf("SELECT %d", o.offset+e.ID)}
+}
+
+// TestOnEvictHook pins the GC side-channel: hooks observe exactly the IDs
+// the TTL GC deletes, outside the manager lock.
+func TestOnEvictHook(t *testing.T) {
+	m := NewManager(&stubTranslator{}, Config{Runners: 1, Queue: 8, TTL: time.Hour})
+	defer shutdownOrFail(t, m)
+
+	var mu sync.Mutex
+	var evicted []string
+	m.OnEvict(func(ids []string) {
+		mu.Lock()
+		evicted = append(evicted, ids...)
+		mu.Unlock()
+	})
+	// Hooks may themselves call back into the manager without deadlocking.
+	m.OnEvict(func(ids []string) { m.Stats() })
+
+	st, err := m.Submit(Request{Examples: stubExamples(2, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFinished(t, m, st.ID)
+
+	if n := m.GC(time.Now()); n != 0 {
+		t.Fatalf("premature GC removed %d", n)
+	}
+	mu.Lock()
+	if len(evicted) != 0 {
+		t.Fatalf("hook fired before eviction: %v", evicted)
+	}
+	mu.Unlock()
+
+	if n := m.GC(time.Now().Add(2 * time.Hour)); n != 1 {
+		t.Fatalf("GC removed %d jobs, want 1", n)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(evicted) != 1 || evicted[0] != st.ID {
+		t.Fatalf("hook saw %v, want [%s]", evicted, st.ID)
+	}
+}

@@ -10,11 +10,17 @@ import (
 	"repro/internal/jobs"
 )
 
-// JobCreateRequest submits a batch of dev tasks for asynchronous
+// JobCreateRequest submits a batch of dev tasks (task_ids) or, for a
+// registered tenant database, free-form questions for asynchronous
 // translation. Unlike /v1/batch, the call returns immediately with a job ID;
 // poll GET /v1/jobs/{id} for progress and results.
 type JobCreateRequest struct {
-	TaskIDs []int `json:"task_ids"`
+	TaskIDs []int `json:"task_ids,omitempty"`
+	// Database plus Questions selects the tenant-scoped form: each question
+	// is resolved against the tenant's demonstration pool and translated by
+	// the tenant's pipeline.
+	Database  string   `json:"database,omitempty"`
+	Questions []string `json:"questions,omitempty"`
 	// Workers overrides the job subsystem's per-job engine pool when > 0.
 	Workers int `json:"workers,omitempty"`
 	// Label is an optional client tag echoed back in status responses.
@@ -95,20 +101,22 @@ func (s *Server) renderedResults(st jobs.Status) []BatchItem {
 		return items
 	}
 
-	s.mu.RLock()
+	// The job status echoes its own examples, so rendering needs no side
+	// table — benchmark and tenant jobs share one path, and the GC evict
+	// hook (wired in New) keeps this cache aligned with the job table.
 	items := make([]BatchItem, 0, len(st.Results))
 	for i, res := range st.Results {
 		if i < len(st.Done) && !st.Done[i] {
 			continue // not translated before cancellation
 		}
+		if i >= len(st.Examples) {
+			continue
+		}
 		taskID := i
 		if st.TaskIDs != nil {
 			taskID = st.TaskIDs[i]
 		}
-		if taskID < 0 || taskID >= len(s.corpus.Dev.Examples) {
-			continue
-		}
-		e := s.corpus.Dev.Examples[taskID]
+		e := st.Examples[i]
 		items = append(items, BatchItem{
 			TaskID:     taskID,
 			SQL:        res.SQL,
@@ -118,16 +126,14 @@ func (s *Server) renderedResults(st jobs.Status) []BatchItem {
 			DemosUsed:  res.DemosUsed,
 		})
 	}
-	s.mu.RUnlock()
-
-	// Drop entries for jobs the manager has garbage-collected so the cache
-	// tracks the live job table instead of growing forever.
-	for id := range s.resCache {
-		if _, err := s.jobs.Get(id); err != nil {
-			delete(s.resCache, id)
-		}
+	// Memoize only while the job is still in the manager's table. The evict
+	// hook also takes resMu, so orderings interleave safely: if the GC ran
+	// after this render began, either the Get below already misses, or the
+	// hook deletes the entry right after we store it — never an orphan that
+	// outlives its job.
+	if _, err := s.jobs.Get(st.ID); err == nil {
+		s.resCache[st.ID] = items
 	}
-	s.resCache[st.ID] = items
 	return items
 }
 
@@ -137,26 +143,54 @@ func (s *Server) handleJobCreate(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad json: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	if len(req.TaskIDs) == 0 {
-		http.Error(w, "task_ids is empty", http.StatusBadRequest)
-		return
+	jreq := jobs.Request{Workers: req.Workers, Label: req.Label}
+	switch {
+	case req.Database != "" && s.catalog != nil:
+		// Tenant-scoped form: the job runs on the tenant's pipeline (its
+		// snapshot pinned at submission) instead of the server default.
+		if len(req.TaskIDs) > 0 {
+			http.Error(w, "use task_ids or database+questions, not both", http.StatusBadRequest)
+			return
+		}
+		if len(req.Questions) == 0 {
+			http.Error(w, "questions is empty", http.StatusBadRequest)
+			return
+		}
+		if len(req.Questions) > s.maxBatch {
+			http.Error(w, "batch too large", http.StatusRequestEntityTooLarge)
+			return
+		}
+		t := s.tenantFor(req.Database)
+		if t == nil {
+			http.Error(w, "unknown database", http.StatusNotFound)
+			return
+		}
+		snap := t.Snapshot()
+		examples, ok := s.tenantExamples(w, snap, req.Questions)
+		if !ok {
+			return
+		}
+		jreq.Examples = examples
+		jreq.Translator = countingTranslator{t: t, inner: snap.Pipeline}
+	default:
+		if len(req.TaskIDs) == 0 {
+			http.Error(w, "task_ids is empty", http.StatusBadRequest)
+			return
+		}
+		if len(req.TaskIDs) > s.maxBatch {
+			http.Error(w, "batch too large", http.StatusRequestEntityTooLarge)
+			return
+		}
+		s.mu.RLock()
+		examples, ok := s.lookupTasks(w, req.TaskIDs)
+		s.mu.RUnlock()
+		if !ok {
+			return
+		}
+		jreq.Examples = examples
+		jreq.TaskIDs = req.TaskIDs
 	}
-	if len(req.TaskIDs) > s.maxBatch {
-		http.Error(w, "batch too large", http.StatusRequestEntityTooLarge)
-		return
-	}
-	s.mu.RLock()
-	examples, ok := s.lookupTasks(w, req.TaskIDs)
-	s.mu.RUnlock()
-	if !ok {
-		return
-	}
-	st, err := s.jobs.Submit(jobs.Request{
-		Examples: examples,
-		Workers:  req.Workers,
-		Label:    req.Label,
-		TaskIDs:  req.TaskIDs,
-	})
+	st, err := s.jobs.Submit(jreq)
 	switch {
 	case errors.Is(err, jobs.ErrQueueFull):
 		http.Error(w, err.Error(), http.StatusTooManyRequests)

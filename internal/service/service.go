@@ -11,6 +11,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/catalog"
 	"repro/internal/classifier"
 	"repro/internal/core"
 	"repro/internal/eval"
@@ -33,6 +34,7 @@ type Server struct {
 	byDB     map[string][]*spider.Example
 	cache    *llm.Cache
 	jobs     *jobs.Manager
+	catalog  *catalog.Catalog
 	workers  int
 	maxBatch int
 
@@ -77,6 +79,16 @@ func WithJobsManager(m *jobs.Manager) Option {
 	return func(s *Server) { s.jobs = m }
 }
 
+// WithCatalog enables the multi-tenant database subsystem: the /v1/databases
+// CRUD endpoints, tenant-scoped translate/execute/batch/jobs, and per-tenant
+// counters on /v1/stats. The caller owns the catalog's lifecycle.
+func WithCatalog(c *catalog.Catalog) Option {
+	return func(s *Server) { s.catalog = c }
+}
+
+// Catalog exposes the tenant registry (nil unless WithCatalog was passed).
+func (s *Server) Catalog() *catalog.Catalog { return s.catalog }
+
 // New builds a server around a constructed pipeline and its corpus.
 func New(p *core.Pipeline, c *spider.Corpus, opts ...Option) *Server {
 	s := &Server{
@@ -90,6 +102,17 @@ func New(p *core.Pipeline, c *spider.Corpus, opts ...Option) *Server {
 	}
 	for _, o := range opts {
 		o(s)
+	}
+	if s.jobs != nil {
+		// Memoized result renderings must die with their jobs: the TTL GC
+		// reports evicted IDs and the hook drops the matching cache rows.
+		s.jobs.OnEvict(func(ids []string) {
+			s.resMu.Lock()
+			for _, id := range ids {
+				delete(s.resCache, id)
+			}
+			s.resMu.Unlock()
+		})
 	}
 	return s
 }
@@ -108,25 +131,48 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return s.jobs.Shutdown(ctx)
 }
 
-// Handler returns the route table.
+// Handler returns the route table. Every endpoint lives under /v1 with
+// method guards enforced by the mux; the original unversioned paths
+// (/databases, /translate, /execute) remain as deprecated aliases that
+// answer identically while advertising their successor via Deprecation and
+// Link headers.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/databases", s.handleDatabases)
-	mux.HandleFunc("/translate", s.handleTranslate)
-	mux.HandleFunc("/execute", s.handleExecute)
-	mux.HandleFunc("/v1/batch", s.handleBatch)
-	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/databases", s.handleDatabases)
+	mux.HandleFunc("POST /v1/translate", s.handleTranslate)
+	mux.HandleFunc("POST /v1/execute", s.handleExecute)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	if s.catalog != nil {
+		mux.HandleFunc("POST /v1/databases", s.handleDatabaseRegister)
+		mux.HandleFunc("GET /v1/databases/{name}", s.handleDatabaseGet)
+		mux.HandleFunc("PUT /v1/databases/{name}", s.handleDatabaseReplace)
+		mux.HandleFunc("DELETE /v1/databases/{name}", s.handleDatabaseDelete)
+	}
 	if s.jobs != nil {
 		mux.HandleFunc("POST /v1/jobs", s.handleJobCreate)
 		mux.HandleFunc("GET /v1/jobs", s.handleJobList)
 		mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 		mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	}
+	mux.HandleFunc("GET /databases", deprecated("/v1/databases", s.handleDatabases))
+	mux.HandleFunc("POST /translate", deprecated("/v1/translate", s.handleTranslate))
+	mux.HandleFunc("POST /execute", deprecated("/v1/execute", s.handleExecute))
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		w.Write([]byte("ok"))
 	})
 	return mux
+}
+
+// deprecated wraps a legacy alias: same behavior as the /v1 handler, plus
+// RFC 8594-style headers pointing clients at the successor path.
+func deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", "<"+successor+`>; rel="successor-version"`)
+		h(w, r)
+	}
 }
 
 // lookupTasks resolves task IDs to dev examples, writing a 404 and
@@ -146,30 +192,44 @@ func (s *Server) lookupTasks(w http.ResponseWriter, ids []int) ([]*spider.Exampl
 type databaseInfo struct {
 	Name   string   `json:"name"`
 	Tables []string `json:"tables"`
+	// Source is "benchmark" for corpus databases, "tenant" for registered
+	// ones; tenants additionally carry their state and version.
+	Source  string `json:"source"`
+	State   string `json:"state,omitempty"`
+	Version int    `json:"version,omitempty"`
 }
 
 func (s *Server) handleDatabases(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
-		return
-	}
 	var out []databaseInfo
 	for _, db := range s.corpus.Dev.Databases {
-		out = append(out, databaseInfo{Name: db.Name, Tables: db.TableNames()})
+		out = append(out, databaseInfo{Name: db.Name, Tables: db.TableNames(), Source: "benchmark"})
+	}
+	if s.catalog != nil {
+		for _, snap := range s.catalog.List() {
+			out = append(out, databaseInfo{
+				Name: snap.Name, Tables: snap.DB.TableNames(),
+				Source: "tenant", State: string(snap.State), Version: snap.Version,
+			})
+		}
 	}
 	writeJSON(w, out)
 }
 
 // TranslateRequest asks for a translation of a dev task (by id) or a
-// free-form question against a database (retrieval artifacts only — the
-// simulated LLM needs a benchmark task to complete the generation half).
+// free-form question against a database. For a registered tenant database
+// the full pipeline runs (the question is resolved against the tenant's
+// demonstration pool); for a benchmark database the response carries
+// retrieval artifacts only — the simulated LLM needs a task oracle to
+// complete the generation half.
 type TranslateRequest struct {
 	TaskID   *int   `json:"task_id,omitempty"`
 	Database string `json:"database,omitempty"`
 	Question string `json:"question,omitempty"`
 }
 
-// TranslateResponse reports the SQL and pipeline artifacts.
+// TranslateResponse reports the SQL and pipeline artifacts. Database,
+// State and Version identify the serving tenant snapshot on tenant-scoped
+// requests.
 type TranslateResponse struct {
 	SQL          string   `json:"sql,omitempty"`
 	Gold         string   `json:"gold,omitempty"`
@@ -179,14 +239,14 @@ type TranslateResponse struct {
 	TotalTokens  int      `json:"total_tokens,omitempty"`
 	PrunedTables []string `json:"pruned_tables,omitempty"`
 	Skeletons    []string `json:"skeletons,omitempty"`
+	Database     string   `json:"database,omitempty"`
+	State        string   `json:"state,omitempty"`
+	Version      int      `json:"version,omitempty"`
+	Note         string   `json:"note,omitempty"`
 	Error        string   `json:"error,omitempty"`
 }
 
 func (s *Server) handleTranslate(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
-		return
-	}
 	var req TranslateRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		http.Error(w, "bad json: "+err.Error(), http.StatusBadRequest)
@@ -212,6 +272,10 @@ func (s *Server) handleTranslate(w http.ResponseWriter, r *http.Request) {
 			TotalTokens: res.InputTokens + res.OutputTokens,
 		})
 	case req.Database != "" && req.Question != "":
+		if t := s.tenantFor(req.Database); t != nil {
+			s.translateTenant(w, t, req.Question)
+			return
+		}
 		s.mu.RLock()
 		defer s.mu.RUnlock()
 		examples := s.byDB[strings.ToLower(req.Database)]
@@ -231,10 +295,15 @@ func (s *Server) handleTranslate(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// BatchRequest asks for translations of a set of dev tasks, fanned across a
-// bounded worker pool.
+// BatchRequest asks for translations of a set of dev tasks (task_ids) or,
+// for a registered tenant database, a set of free-form questions resolved
+// against the tenant's demonstration pool. Exactly one of the two forms
+// must be used; both fan across a bounded worker pool.
 type BatchRequest struct {
-	TaskIDs []int `json:"task_ids"`
+	TaskIDs []int `json:"task_ids,omitempty"`
+	// Database plus Questions selects the tenant-scoped form.
+	Database  string   `json:"database,omitempty"`
+	Questions []string `json:"questions,omitempty"`
 	// Workers overrides the server's default pool size when > 0.
 	Workers int `json:"workers,omitempty"`
 }
@@ -261,15 +330,44 @@ type BatchResponse struct {
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
-		return
-	}
 	var req BatchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		http.Error(w, "bad json: "+err.Error(), http.StatusBadRequest)
 		return
 	}
+
+	// Tenant-scoped form: questions against a registered database.
+	if req.Database != "" && s.catalog != nil {
+		if len(req.TaskIDs) > 0 {
+			http.Error(w, "use task_ids or database+questions, not both", http.StatusBadRequest)
+			return
+		}
+		if len(req.Questions) == 0 {
+			http.Error(w, "questions is empty", http.StatusBadRequest)
+			return
+		}
+		if len(req.Questions) > s.maxBatch {
+			http.Error(w, "batch too large", http.StatusRequestEntityTooLarge)
+			return
+		}
+		t := s.tenantFor(req.Database)
+		if t == nil {
+			http.Error(w, "unknown database", http.StatusNotFound)
+			return
+		}
+		snap := t.Snapshot()
+		examples, ok := s.tenantExamples(w, snap, req.Questions)
+		if !ok {
+			return
+		}
+		ids := make([]int, len(examples))
+		for i := range ids {
+			ids[i] = i
+		}
+		s.runBatch(w, r, countingTranslator{t: t, inner: snap.Pipeline}, examples, ids, req.Workers)
+		return
+	}
+
 	if len(req.TaskIDs) == 0 {
 		http.Error(w, "task_ids is empty", http.StatusBadRequest)
 		return
@@ -284,11 +382,16 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	workers := req.Workers
+	s.runBatch(w, r, s.pipeline, examples, req.TaskIDs, req.Workers)
+}
+
+// runBatch fans examples across an engine over tr and renders the shared
+// batch response shape (ids label the result items).
+func (s *Server) runBatch(w http.ResponseWriter, r *http.Request, tr core.Translator, examples []*spider.Example, ids []int, workers int) {
 	if workers <= 0 {
 		workers = s.workers
 	}
-	eng := core.NewEngine(s.pipeline, workers)
+	eng := core.NewEngine(tr, workers)
 	results, stats, err := eng.TranslateBatch(r.Context(), examples)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusRequestTimeout)
@@ -304,7 +407,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	for i, res := range results {
 		e := examples[i]
 		out.Results = append(out.Results, BatchItem{
-			TaskID:     req.TaskIDs[i],
+			TaskID:     ids[i],
 			SQL:        res.SQL,
 			Gold:       e.GoldSQL,
 			ExactMatch: eval.ExactSetMatchSQL(res.SQL, e.GoldSQL),
@@ -330,13 +433,12 @@ type StatsResponse struct {
 	PlanCacheHitRate float64                `json:"plan_cache_hit_rate"`
 	JobsEnabled      bool                   `json:"jobs_enabled"`
 	Jobs             *jobs.Counters         `json:"jobs,omitempty"`
+	// Catalog carries the multi-tenant registry's catalog-wide and
+	// per-tenant counters when the subsystem is enabled.
+	Catalog *catalog.Stats `json:"catalog,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
-		return
-	}
 	var out StatsResponse
 	if s.cache != nil {
 		st := s.cache.Stats()
@@ -350,6 +452,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		c := s.jobs.Stats()
 		out.JobsEnabled = true
 		out.Jobs = &c
+	}
+	if s.catalog != nil {
+		cs := s.catalog.Stats()
+		out.Catalog = &cs
 	}
 	writeJSON(w, out)
 }
@@ -368,13 +474,18 @@ type ExecuteResponse struct {
 }
 
 func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
-		return
-	}
 	var req ExecuteRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		http.Error(w, "bad json: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	// Tenant databases execute through their snapshot's own plan cache, so
+	// one tenant's query mix cannot evict another's plans.
+	if t := s.tenantFor(req.Database); t != nil {
+		snap := t.Snapshot()
+		t.RecordExec()
+		res, err := snap.Plans.Exec(snap.DB, req.SQL)
+		writeExecResult(w, res, err)
 		return
 	}
 	s.mu.RLock()
@@ -387,6 +498,11 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 	// Prepared through the shared plan cache: repeated dashboard/monitoring
 	// queries against a benchmark database skip parsing and planning.
 	res, err := sqlexec.Shared.Exec(examples[0].DB, req.SQL)
+	writeExecResult(w, res, err)
+}
+
+// writeExecResult renders an execution outcome as an ExecuteResponse.
+func writeExecResult(w http.ResponseWriter, res *sqlexec.Result, err error) {
 	if err != nil {
 		writeJSON(w, ExecuteResponse{Error: err.Error()})
 		return

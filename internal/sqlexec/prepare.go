@@ -3,6 +3,7 @@ package sqlexec
 import (
 	"container/list"
 	"strconv"
+	"strings"
 	"sync"
 
 	"repro/internal/schema"
@@ -161,6 +162,27 @@ func (c *PlanCache) Exec(db *schema.Database, sql string) (*Result, error) {
 		return nil, err
 	}
 	return stmt.Exec(db)
+}
+
+// InvalidateFingerprint removes every cached statement prepared against a
+// schema with the given fingerprint and returns how many were dropped. The
+// multi-tenant catalog calls it when a database is re-registered or evicted:
+// the fingerprint names the retired schema version, so plans compiled
+// against it must not be served to the replacement. Dropped entries do not
+// count as evictions (they were invalidated, not displaced by pressure).
+func (c *PlanCache) InvalidateFingerprint(fp uint64) int {
+	prefix := strconv.FormatUint(fp, 16) + "\x00"
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for key, el := range c.entries {
+		if strings.HasPrefix(key, prefix) {
+			c.lru.Remove(el)
+			delete(c.entries, key)
+			n++
+		}
+	}
+	return n
 }
 
 // Stats snapshots the counters.
