@@ -26,11 +26,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 	"testing"
 	"time"
 
 	"repro/internal/benchfix"
+	"repro/internal/benchfmt"
 	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/eval"
@@ -106,23 +106,8 @@ func main() {
 }
 
 // ---- JSON micro-benchmark mode ----
-
-type benchResult struct {
-	Name        string  `json:"name"`
-	Iterations  int     `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-}
-
-type benchReport struct {
-	GeneratedUnix int64         `json:"generated_unix"`
-	GoVersion     string        `json:"go_version"`
-	GOOS          string        `json:"goos"`
-	GOARCH        string        `json:"goarch"`
-	Short         bool          `json:"short"`
-	Benchmarks    []benchResult `json:"benchmarks"`
-}
+// The document schema lives in internal/benchfmt, shared with cmd/benchdiff
+// (the CI regression gate) and the loadgen report header.
 
 func runJSONBenchmarks(short bool) error {
 	// Fixture and sizes shared with internal/sqlexec/bench_test.go: the
@@ -206,13 +191,7 @@ type namedBench struct {
 // emitReport runs the benchmark list through testing.Benchmark and writes
 // the JSON document to stdout.
 func emitReport(short bool, benches []namedBench) error {
-	report := benchReport{
-		GeneratedUnix: time.Now().Unix(),
-		GoVersion:     runtime.Version(),
-		GOOS:          runtime.GOOS,
-		GOARCH:        runtime.GOARCH,
-		Short:         short,
-	}
+	report := benchfmt.Report{Header: benchfmt.NewHeader(), Short: short}
 	for _, bn := range benches {
 		fmt.Fprintf(os.Stderr, "running %s...\n", bn.name)
 		r := testing.Benchmark(bn.fn)
@@ -222,7 +201,7 @@ func emitReport(short bool, benches []namedBench) error {
 			// garbage trajectory point.
 			return fmt.Errorf("benchmark %s failed (zero iterations)", bn.name)
 		}
-		report.Benchmarks = append(report.Benchmarks, benchResult{
+		report.Benchmarks = append(report.Benchmarks, benchfmt.Result{
 			Name:        bn.name,
 			Iterations:  r.N,
 			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),

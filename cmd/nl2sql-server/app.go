@@ -1,0 +1,219 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/jobs"
+	"repro/internal/llm"
+	"repro/internal/metrics"
+	"repro/internal/service"
+	"repro/internal/spider"
+)
+
+// shutdownSignals is the set main traps for graceful drain. Both SIGINT
+// (interactive ^C) and SIGTERM (orchestrators) must be here — the shutdown
+// test delivers a real SIGINT through this list, so dropping one fails CI.
+var shutdownSignals = []os.Signal{syscall.SIGINT, syscall.SIGTERM}
+
+// appConfig is the server's effective configuration — main fills it from
+// flags; the shutdown test fills it directly.
+type appConfig struct {
+	Addr           string
+	Scale          float64
+	Seed           int64
+	Workers        int
+	CacheCap       int
+	JobRunners     int
+	JobQueue       int
+	JobTTL         time.Duration
+	DrainTimeout   time.Duration
+	MaxTenants     int
+	TenantIdleTTL  time.Duration
+	TenantCacheCap int
+	BootstrapSeeds string
+	Pprof          bool
+}
+
+// app is the assembled server: the HTTP listener plus the subsystems whose
+// drain order shutdown owns. It exists so graceful shutdown is testable
+// in-process instead of only observable through a spawned binary.
+type app struct {
+	cfg     appConfig
+	svc     *service.Server
+	cat     *catalog.Catalog
+	reg     *metrics.Registry
+	srv     *http.Server
+	ln      net.Listener
+	started chan struct{} // closed once the listener is bound
+}
+
+// newApp builds the corpus, pipeline and subsystems, and binds the listener
+// (so the caller knows Addr is serving when newApp returns).
+func newApp(cfg appConfig) (*app, error) {
+	start := time.Now()
+	log.Printf("generating corpus (scale=%.2f) and training pipeline...", cfg.Scale)
+	corpus := spider.GenerateSmall(cfg.Seed, cfg.Scale)
+	base := llm.Client(llm.NewSim(llm.ChatGPT))
+	client := base
+	reg := metrics.NewRegistry()
+	opts := []service.Option{service.WithMetrics(reg), service.WithWorkers(cfg.Workers)}
+	if cfg.CacheCap > 0 {
+		cache := llm.NewCache(client, cfg.CacheCap)
+		client = cache
+		opts = append(opts, service.WithCache(cache))
+	}
+	if cfg.JobRunners > 0 {
+		opts = append(opts, service.WithJobs(jobs.Config{
+			Runners: cfg.JobRunners,
+			Queue:   cfg.JobQueue,
+			Workers: cfg.Workers,
+			TTL:     cfg.JobTTL,
+		}))
+	}
+	var cat *catalog.Catalog
+	if cfg.MaxTenants > 0 {
+		// The warming fallback trains on the union of several seed corpora:
+		// broader skeleton and vocabulary coverage than any single seed, so
+		// a freshly registered tenant's fallback pipeline generalizes
+		// better while its own models build.
+		boot, err := bootstrapExamples(corpus, cfg.Seed, cfg.Scale, cfg.BootstrapSeeds)
+		if err != nil {
+			return nil, err
+		}
+		cat, err = catalog.New(catalog.Config{
+			Client:     base, // tenants wrap the raw backend in their own caches
+			Fallback:   catalog.NewFallback(boot),
+			MaxTenants: cfg.MaxTenants,
+			IdleTTL:    cfg.TenantIdleTTL,
+			CacheCap:   cfg.TenantCacheCap,
+		})
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, service.WithCatalog(cat))
+		log.Printf("catalog ready: fallback trained on %d bootstrap demonstrations, cap %d tenants", len(boot), cfg.MaxTenants)
+	}
+	pipeline := core.New(corpus.Train.Examples, client, core.DefaultConfig())
+	svc := service.New(pipeline, corpus, opts...)
+	log.Printf("ready in %v; %d dev tasks over %d databases; %d job runners, queue %d",
+		time.Since(start).Round(time.Millisecond), len(corpus.Dev.Examples), len(corpus.Dev.Databases),
+		cfg.JobRunners, cfg.JobQueue)
+
+	handler := svc.Handler()
+	if cfg.Pprof {
+		handler = withPprof(handler)
+		log.Printf("pprof debug endpoints enabled under /debug/pprof/")
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	return &app{
+		cfg: cfg,
+		svc: svc,
+		cat: cat,
+		reg: reg,
+		ln:  ln,
+		srv: &http.Server{
+			Handler:      handler,
+			ReadTimeout:  30 * time.Second,
+			WriteTimeout: 120 * time.Second,
+		},
+		started: make(chan struct{}),
+	}, nil
+}
+
+// withPprof mounts the runtime profiling endpoints next to the service
+// routes — explicitly, not via the net/http/pprof DefaultServeMux side
+// effect, so nothing else riding that mux leaks onto the serving port.
+func withPprof(inner http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", inner)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// addr reports the bound listen address (useful with ":0").
+func (a *app) addr() string { return a.ln.Addr().String() }
+
+// run serves until ctx is cancelled (SIGINT/SIGTERM in main), then drains:
+// HTTP listener first, then the job subsystem, then the catalog's build
+// manager — each with its own DrainTimeout budget so a slow stage cannot
+// starve the next one's grace period. It returns nil on a clean drain.
+func (a *app) run(ctx context.Context) error {
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s", a.addr())
+		close(a.started)
+		errc <- a.srv.Serve(a.ln)
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	log.Printf("signal received; draining (budget %v per stage)...", a.cfg.DrainTimeout)
+	httpCtx, cancelHTTP := context.WithTimeout(context.Background(), a.cfg.DrainTimeout)
+	defer cancelHTTP()
+	if err := a.srv.Shutdown(httpCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	// The job drain gets its own budget: a slow in-flight HTTP request must
+	// not eat the time promised to running jobs.
+	jobCtx, cancelJobs := context.WithTimeout(context.Background(), a.cfg.DrainTimeout)
+	defer cancelJobs()
+	var drainErr error
+	if err := a.svc.Shutdown(jobCtx); err != nil {
+		drainErr = err
+		log.Printf("job drain cut short: %v (partial results checkpointed)", err)
+	} else {
+		log.Printf("drained cleanly")
+	}
+	if a.cat != nil {
+		catCtx, cancelCat := context.WithTimeout(context.Background(), a.cfg.DrainTimeout)
+		defer cancelCat()
+		if err := a.cat.Close(catCtx); err != nil {
+			log.Printf("catalog drain cut short: %v", err)
+		}
+	}
+	return drainErr
+}
+
+// bootstrapExamples unions the training splits of the configured bootstrap
+// seeds (reusing the already-generated main corpus for its own seed).
+func bootstrapExamples(main *spider.Corpus, mainSeed int64, scale float64, seeds string) ([]*spider.Example, error) {
+	out := append([]*spider.Example(nil), main.Train.Examples...)
+	for _, f := range strings.Split(seeds, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		s, err := strconv.ParseInt(f, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -bootstrap-seeds entry %q: %v", f, err)
+		}
+		if s == mainSeed {
+			continue
+		}
+		out = append(out, spider.GenerateSmall(s, scale).Train.Examples...)
+	}
+	return out, nil
+}

@@ -7,7 +7,8 @@
 //	curl -X POST localhost:8080/v1/jobs -d '{"task_ids": [0,1,2,3]}'   # async: returns a job id
 //	curl localhost:8080/v1/jobs/job-000001                             # poll progress/results
 //	curl -X DELETE localhost:8080/v1/jobs/job-000001                   # cancel
-//	curl localhost:8080/v1/stats
+//	curl localhost:8080/v1/stats                                       # JSON counters
+//	curl localhost:8080/v1/metrics                                     # Prometheus text exposition
 //	curl -X POST localhost:8080/v1/execute -d '{"database":"tv","sql":"SELECT COUNT(*) FROM cartoon"}'
 //
 // Multi-tenant catalog: register your own database with demonstrations and
@@ -16,6 +17,11 @@
 //	curl -X POST localhost:8080/v1/databases -d '{"name":"shop","tables":[...],"demos":[...]}'
 //	curl localhost:8080/v1/databases/shop                  # warming -> ready
 //	curl -X POST localhost:8080/v1/translate -d '{"database":"shop","question":"..."}'
+//
+// Observability: every route records per-status request counts and a latency
+// histogram, exported with the tenant/job/cache instruments on /v1/metrics;
+// -pprof additionally mounts the runtime profiling endpoints under
+// /debug/pprof/.
 //
 // On SIGINT/SIGTERM the server stops accepting connections, then drains the
 // job subsystem: queued jobs are cancelled, running jobs get -drain-timeout
@@ -26,149 +32,35 @@ import (
 	"context"
 	"flag"
 	"log"
-	"net/http"
 	"os/signal"
-	"strconv"
-	"strings"
-	"syscall"
 	"time"
-
-	"repro/internal/catalog"
-	"repro/internal/core"
-	"repro/internal/jobs"
-	"repro/internal/llm"
-	"repro/internal/service"
-	"repro/internal/spider"
 )
 
 func main() {
-	var (
-		addr           = flag.String("addr", ":8080", "listen address")
-		scale          = flag.Float64("scale", 0.1, "corpus scale")
-		seed           = flag.Int64("seed", 1, "corpus seed")
-		workers        = flag.Int("workers", 4, "default /v1/batch worker-pool size")
-		cacheCap       = flag.Int("cache", 4096, "LLM response cache capacity in entries (0 disables)")
-		jobRunners     = flag.Int("job-runners", 2, "concurrent async jobs (runner goroutines; 0 disables /v1/jobs)")
-		jobQueue       = flag.Int("job-queue", 16, "async job admission-queue capacity (full queue => 429)")
-		jobTTL         = flag.Duration("job-ttl", 15*time.Minute, "how long finished jobs stay queryable")
-		drainTimeout   = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for running jobs")
-		maxTenants     = flag.Int("max-tenants", 64, "registered-database cap; past it the least-recently-used tenant is evicted (0 disables the catalog)")
-		tenantIdleTTL  = flag.Duration("tenant-idle-ttl", 0, "evict tenants unused for this long (0 disables idle eviction)")
-		tenantCacheCap = flag.Int("tenant-cache", 1024, "per-tenant LLM cache capacity in entries (<0 disables)")
-		bootstrapSeeds = flag.String("bootstrap-seeds", "1,2", "comma-separated corpus seeds whose training splits train the catalog's shared warming models")
-	)
+	var cfg appConfig
+	flag.StringVar(&cfg.Addr, "addr", ":8080", "listen address")
+	flag.Float64Var(&cfg.Scale, "scale", 0.1, "corpus scale")
+	flag.Int64Var(&cfg.Seed, "seed", 1, "corpus seed")
+	flag.IntVar(&cfg.Workers, "workers", 4, "default /v1/batch worker-pool size")
+	flag.IntVar(&cfg.CacheCap, "cache", 4096, "LLM response cache capacity in entries (0 disables)")
+	flag.IntVar(&cfg.JobRunners, "job-runners", 2, "concurrent async jobs (runner goroutines; 0 disables /v1/jobs)")
+	flag.IntVar(&cfg.JobQueue, "job-queue", 16, "async job admission-queue capacity (full queue => 429)")
+	flag.DurationVar(&cfg.JobTTL, "job-ttl", 15*time.Minute, "how long finished jobs stay queryable")
+	flag.DurationVar(&cfg.DrainTimeout, "drain-timeout", 30*time.Second, "graceful-shutdown budget per drain stage (HTTP, jobs, catalog)")
+	flag.IntVar(&cfg.MaxTenants, "max-tenants", 64, "registered-database cap; past it the least-recently-used tenant is evicted (0 disables the catalog)")
+	flag.DurationVar(&cfg.TenantIdleTTL, "tenant-idle-ttl", 0, "evict tenants unused for this long (0 disables idle eviction)")
+	flag.IntVar(&cfg.TenantCacheCap, "tenant-cache", 1024, "per-tenant LLM cache capacity in entries (<0 disables)")
+	flag.StringVar(&cfg.BootstrapSeeds, "bootstrap-seeds", "1,2", "comma-separated corpus seeds whose training splits train the catalog's shared warming models")
+	flag.BoolVar(&cfg.Pprof, "pprof", false, "mount net/http/pprof debug endpoints under /debug/pprof/")
 	flag.Parse()
 
-	start := time.Now()
-	log.Printf("generating corpus (scale=%.2f) and training pipeline...", *scale)
-	corpus := spider.GenerateSmall(*seed, *scale)
-	base := llm.Client(llm.NewSim(llm.ChatGPT))
-	client := base
-	var opts []service.Option
-	if *cacheCap > 0 {
-		cache := llm.NewCache(client, *cacheCap)
-		client = cache
-		opts = append(opts, service.WithCache(cache))
-	}
-	opts = append(opts, service.WithWorkers(*workers))
-	if *jobRunners > 0 {
-		opts = append(opts, service.WithJobs(jobs.Config{
-			Runners: *jobRunners,
-			Queue:   *jobQueue,
-			Workers: *workers,
-			TTL:     *jobTTL,
-		}))
-	}
-	var cat *catalog.Catalog
-	if *maxTenants > 0 {
-		// The warming fallback trains on the union of several seed corpora:
-		// broader skeleton and vocabulary coverage than any single seed, so
-		// a freshly registered tenant's fallback pipeline generalizes
-		// better while its own models build.
-		boot := bootstrapExamples(corpus, *seed, *scale, *bootstrapSeeds)
-		var err error
-		cat, err = catalog.New(catalog.Config{
-			Client:     base, // tenants wrap the raw backend in their own caches
-			Fallback:   catalog.NewFallback(boot),
-			MaxTenants: *maxTenants,
-			IdleTTL:    *tenantIdleTTL,
-			CacheCap:   *tenantCacheCap,
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		opts = append(opts, service.WithCatalog(cat))
-		log.Printf("catalog ready: fallback trained on %d bootstrap demonstrations, cap %d tenants", len(boot), *maxTenants)
-	}
-	pipeline := core.New(corpus.Train.Examples, client, core.DefaultConfig())
-	svc := service.New(pipeline, corpus, opts...)
-	log.Printf("ready in %v; %d dev tasks over %d databases; %d job runners, queue %d",
-		time.Since(start).Round(time.Millisecond), len(corpus.Dev.Examples), len(corpus.Dev.Databases),
-		*jobRunners, *jobQueue)
-
-	srv := &http.Server{
-		Addr:         *addr,
-		Handler:      svc.Handler(),
-		ReadTimeout:  30 * time.Second,
-		WriteTimeout: 120 * time.Second,
-	}
-
-	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
-	defer stop()
-
-	errc := make(chan error, 1)
-	go func() {
-		log.Printf("listening on %s", *addr)
-		errc <- srv.ListenAndServe()
-	}()
-
-	select {
-	case err := <-errc:
+	a, err := newApp(cfg)
+	if err != nil {
 		log.Fatal(err)
-	case <-ctx.Done():
 	}
-
-	log.Printf("signal received; draining (budget %v)...", *drainTimeout)
-	httpCtx, cancelHTTP := context.WithTimeout(context.Background(), *drainTimeout)
-	if err := srv.Shutdown(httpCtx); err != nil {
-		log.Printf("http shutdown: %v", err)
+	ctx, stop := signal.NotifyContext(context.Background(), shutdownSignals...)
+	defer stop()
+	if err := a.run(ctx); err != nil {
+		log.Fatal(err)
 	}
-	cancelHTTP()
-	// The job drain gets its own budget: a slow in-flight HTTP request must
-	// not eat the time promised to running jobs.
-	jobCtx, cancelJobs := context.WithTimeout(context.Background(), *drainTimeout)
-	defer cancelJobs()
-	if err := svc.Shutdown(jobCtx); err != nil {
-		log.Printf("job drain cut short: %v (partial results checkpointed)", err)
-	} else {
-		log.Printf("drained cleanly")
-	}
-	if cat != nil {
-		catCtx, cancelCat := context.WithTimeout(context.Background(), *drainTimeout)
-		defer cancelCat()
-		if err := cat.Close(catCtx); err != nil {
-			log.Printf("catalog drain cut short: %v", err)
-		}
-	}
-}
-
-// bootstrapExamples unions the training splits of the configured bootstrap
-// seeds (reusing the already-generated main corpus for its own seed).
-func bootstrapExamples(main *spider.Corpus, mainSeed int64, scale float64, seeds string) []*spider.Example {
-	out := append([]*spider.Example(nil), main.Train.Examples...)
-	for _, f := range strings.Split(seeds, ",") {
-		f = strings.TrimSpace(f)
-		if f == "" {
-			continue
-		}
-		s, err := strconv.ParseInt(f, 10, 64)
-		if err != nil {
-			log.Fatalf("bad -bootstrap-seeds entry %q: %v", f, err)
-		}
-		if s == mainSeed {
-			continue
-		}
-		out = append(out, spider.GenerateSmall(s, scale).Train.Examples...)
-	}
-	return out
 }

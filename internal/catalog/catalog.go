@@ -167,10 +167,13 @@ type TenantStats struct {
 	AvgTranslateMs float64 `json:"avg_translate_ms"`
 	// LLM cache counters for the tenant's current snapshot (zero when
 	// caching is disabled).
-	CacheHits   int64     `json:"cache_hits"`
-	CacheMisses int64     `json:"cache_misses"`
-	Registered  time.Time `json:"registered"`
-	LastUsed    time.Time `json:"last_used,omitempty"`
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	// Plan cache counters for the tenant's prepared-statement cache.
+	PlanCacheHits   int64     `json:"plan_cache_hits"`
+	PlanCacheMisses int64     `json:"plan_cache_misses"`
+	Registered      time.Time `json:"registered"`
+	LastUsed        time.Time `json:"last_used,omitempty"`
 }
 
 // Stats is the catalog-wide observability snapshot.
@@ -563,6 +566,10 @@ func (c *Catalog) Stats() Stats {
 		if s.Cache != nil {
 			cs := s.Cache.Stats()
 			ts.CacheHits, ts.CacheMisses = cs.Hits, cs.Misses
+		}
+		if s.Plans != nil {
+			ps := s.Plans.Stats()
+			ts.PlanCacheHits, ts.PlanCacheMisses = int64(ps.Hits), int64(ps.Misses)
 		}
 		out.Tenants = append(out.Tenants, ts)
 	}

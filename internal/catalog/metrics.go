@@ -1,0 +1,40 @@
+package catalog
+
+import "repro/internal/metrics"
+
+// Instrument registers a scrape-time collector exposing catalog-wide
+// lifecycle counters (catalog_*) and one series per registered tenant
+// labeled {tenant=name} for the translate/execute/lookup and cache
+// instruments. Tenant series appear and disappear with registration and
+// eviction — exactly the dynamic population scrape-time collection exists
+// for; the lock-free lookup hot path is untouched. Register each catalog
+// once per registry.
+func (c *Catalog) Instrument(reg *metrics.Registry) {
+	reg.Collect(func(s *metrics.Sink) {
+		st := c.Stats()
+		s.Gauge("catalog_tenants", "Registered tenant databases.", float64(len(st.Tenants)))
+		s.Gauge("catalog_max_tenants", "Configured tenant cap (past it the LRU tenant is evicted).", float64(st.MaxTenants))
+		s.Counter("catalog_registered_total", "Databases registered since start.", float64(st.Registered))
+		s.Counter("catalog_reregistered_total", "Databases re-registered (version bumps).", float64(st.Reregistered))
+		s.Counter("catalog_deregistered_total", "Databases explicitly deregistered.", float64(st.Deregistered))
+		s.Counter("catalog_evicted_total", "Tenants evicted by the LRU cap or idle TTL.", float64(st.Evicted))
+		s.Counter("catalog_builds_done_total", "Async tenant model builds published.", float64(st.BuildsDone))
+		s.Counter("catalog_builds_stale_total", "Builds discarded because a newer registration retired them.", float64(st.BuildsStale))
+		s.Counter("catalog_builds_failed_total", "Builds that errored (typically cancelled during drain).", float64(st.BuildsFailed))
+		for _, t := range st.Tenants {
+			lbl := metrics.L("tenant", t.Name)
+			s.Counter("tenant_translations_total", "Translations served for the tenant.", float64(t.Translations), lbl)
+			s.Counter("tenant_executions_total", "/execute queries served for the tenant.", float64(t.Executions), lbl)
+			s.Counter("tenant_lookups_total", "Tenant resolutions on the request hot path.", float64(t.Lookups), lbl)
+			s.Counter("tenant_llm_cache_hits_total", "Tenant LLM cache hits.", float64(t.CacheHits), lbl)
+			s.Counter("tenant_llm_cache_misses_total", "Tenant LLM cache misses.", float64(t.CacheMisses), lbl)
+			s.Counter("tenant_plan_cache_hits_total", "Tenant plan cache hits.", float64(t.PlanCacheHits), lbl)
+			s.Counter("tenant_plan_cache_misses_total", "Tenant plan cache misses.", float64(t.PlanCacheMisses), lbl)
+			ready := 0.0
+			if t.State == string(StateReady) {
+				ready = 1
+			}
+			s.Gauge("tenant_ready", "1 once the tenant's own models are published (0 while warming).", ready, lbl)
+		}
+	})
+}

@@ -1,0 +1,22 @@
+package jobs
+
+import "repro/internal/metrics"
+
+// Instrument registers a scrape-time collector exposing the manager's queue
+// and lifecycle counters as jobs_* series. Queue depth, capacity and the
+// running count are gauges (they move both ways); the lifetime totals are
+// counters. The manager's hot path is untouched — Stats() runs only at
+// scrape time. Register each manager once per registry.
+func (m *Manager) Instrument(reg *metrics.Registry) {
+	reg.Collect(func(s *metrics.Sink) {
+		c := m.Stats()
+		s.Gauge("jobs_queue_depth", "Jobs admitted but not yet running.", float64(c.QueueDepth))
+		s.Gauge("jobs_queue_capacity", "Admission queue capacity (full queue rejects with 429).", float64(c.QueueCap))
+		s.Gauge("jobs_running", "Jobs executing right now.", float64(c.Running))
+		s.Counter("jobs_submitted_total", "Jobs admitted since start.", float64(c.Submitted))
+		s.Counter("jobs_rejected_total", "Submissions refused (queue full or draining).", float64(c.Rejected))
+		s.Counter("jobs_completed_total", "Jobs finished done.", float64(c.Completed))
+		s.Counter("jobs_failed_total", "Jobs finished failed.", float64(c.Failed))
+		s.Counter("jobs_cancelled_total", "Jobs finished cancelled.", float64(c.Cancelled))
+	})
+}

@@ -1,0 +1,19 @@
+package llm
+
+import "repro/internal/metrics"
+
+// Instrument registers a scrape-time collector exposing the cache's counters
+// as llm_cache_* series labeled {cache=name}. The cache's hot path is
+// untouched — samples are read from the existing atomic counters only when
+// the registry is scraped. Register each cache once per registry.
+func (c *Cache) Instrument(reg *metrics.Registry, name string) {
+	lbl := metrics.L("cache", name)
+	reg.Collect(func(s *metrics.Sink) {
+		st := c.Stats()
+		s.Counter("llm_cache_hits_total", "LLM response cache hits.", float64(st.Hits), lbl)
+		s.Counter("llm_cache_misses_total", "LLM response cache misses.", float64(st.Misses), lbl)
+		s.Counter("llm_cache_evictions_total", "LLM response cache LRU evictions.", float64(st.Evictions), lbl)
+		s.Gauge("llm_cache_entries", "Completed entries resident in the LLM cache.", float64(st.Entries), lbl)
+		s.Gauge("llm_cache_capacity", "Configured LLM cache capacity in entries.", float64(st.Capacity), lbl)
+	})
+}

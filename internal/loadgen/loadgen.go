@@ -1,0 +1,704 @@
+// Package loadgen is the HTTP load generator for the nl2sql service: it
+// drives the real serving stack (router, middleware, JSON codecs, pipeline,
+// caches) rather than in-process benchmarks, and reports throughput, error
+// rate and latency percentiles in the BENCH_*.json schema family so the perf
+// trajectory of the HTTP path is as machine-checkable as the executor's.
+//
+// Two driving disciplines:
+//
+//   - Closed loop (Rate == 0): Workers goroutines issue requests
+//     back-to-back. Measures capacity — what the server can sustain when the
+//     clients saturate it.
+//   - Open loop (Rate > 0): requests are dispatched on a fixed-rate clock
+//     regardless of how long earlier ones take, the discipline that exposes
+//     queueing delay honestly (a closed loop co-ordinates with the server's
+//     slowness and hides it). Dispatches that would exceed MaxInFlight are
+//     counted as dropped rather than silently coalesced.
+//
+// The request mix fans across the service surface: single translations,
+// /execute SQL, /v1/batch fan-outs and async /v1/jobs submissions, against
+// the benchmark corpus or against Tenants freshly registered synthetic
+// tenant databases (exercising the multi-tenant catalog hot path).
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/benchfmt"
+	"repro/internal/metrics"
+)
+
+// Buckets for request latency in seconds: finer than metrics.DefBuckets at
+// the fast end because percentile resolution is the whole point here.
+var latencyBuckets = []float64{
+	0.0002, 0.0005, 0.001, 0.002, 0.005, 0.01, 0.02, 0.05,
+	0.1, 0.2, 0.5, 1, 2, 5, 10,
+}
+
+// Mix weights the request types; a zero weight disables the type. The zero
+// Mix is replaced by DefaultMix.
+type Mix struct {
+	Translate int `json:"translate"`
+	Execute   int `json:"execute"`
+	Batch     int `json:"batch"`
+	Jobs      int `json:"jobs"`
+}
+
+// DefaultMix leans on the two hot-path endpoints with a trickle of batch and
+// async traffic.
+var DefaultMix = Mix{Translate: 4, Execute: 4, Batch: 1, Jobs: 1}
+
+func (m Mix) total() int { return m.Translate + m.Execute + m.Batch + m.Jobs }
+
+// ParseMix parses "translate=4,execute=4,batch=1,jobs=1" (absent types get
+// weight 0; an empty string means DefaultMix).
+func ParseMix(s string) (Mix, error) {
+	if strings.TrimSpace(s) == "" {
+		return DefaultMix, nil
+	}
+	var m Mix
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return Mix{}, fmt.Errorf("loadgen: bad mix entry %q (want type=weight)", part)
+		}
+		w, err := strconv.Atoi(kv[1])
+		if err != nil || w < 0 {
+			return Mix{}, fmt.Errorf("loadgen: bad mix weight %q", kv[1])
+		}
+		switch strings.ToLower(kv[0]) {
+		case "translate":
+			m.Translate = w
+		case "execute":
+			m.Execute = w
+		case "batch":
+			m.Batch = w
+		case "jobs":
+			m.Jobs = w
+		default:
+			return Mix{}, fmt.Errorf("loadgen: unknown request type %q", kv[0])
+		}
+	}
+	if m.total() == 0 {
+		return Mix{}, fmt.Errorf("loadgen: mix has zero total weight")
+	}
+	return m, nil
+}
+
+// Config parameterizes a run. BaseURL and Duration are required; everything
+// else has a default noted on the field.
+type Config struct {
+	// BaseURL is the server root, e.g. "http://localhost:8080".
+	BaseURL string
+	// Duration is how long to generate load.
+	Duration time.Duration
+	// Workers is the closed-loop concurrency (default 8); in open-loop mode
+	// it only sizes the connection pool.
+	Workers int
+	// Rate > 0 selects open-loop mode at that many requests/second.
+	Rate float64
+	// MaxInFlight bounds open-loop concurrency; dispatches beyond it are
+	// counted as dropped (default 256).
+	MaxInFlight int
+	// Mix weights the request types (zero value = DefaultMix).
+	Mix Mix
+	// Tasks is the dev task-id range [0,Tasks) translate/batch/jobs draw
+	// from (default 16). Must not exceed the server's dev-set size.
+	Tasks int
+	// BatchSize is the task count per /v1/batch and /v1/jobs request
+	// (default 8).
+	BatchSize int
+	// Tenants > 0 registers that many synthetic tenant databases up front
+	// and directs translate/execute/batch/jobs at them round-robin,
+	// exercising the multi-tenant catalog path instead of the benchmark
+	// corpus.
+	Tenants int
+	// Seed drives the deterministic request mix (default 1).
+	Seed int64
+	// Timeout is the per-request client timeout (default 30s).
+	Timeout time.Duration
+	// Client overrides the HTTP client (tests); when nil one is built with
+	// a pool sized to Workers.
+	Client *http.Client
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.BaseURL == "" {
+		return c, fmt.Errorf("loadgen: BaseURL is required")
+	}
+	c.BaseURL = strings.TrimRight(c.BaseURL, "/")
+	if c.Duration <= 0 {
+		return c, fmt.Errorf("loadgen: Duration must be positive")
+	}
+	if c.Workers <= 0 {
+		c.Workers = 8
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 256
+	}
+	if c.Mix.total() == 0 {
+		c.Mix = DefaultMix
+	}
+	if c.Tasks <= 0 {
+		c.Tasks = 16
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 8
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 30 * time.Second
+	}
+	if c.Client == nil {
+		tr := http.DefaultTransport.(*http.Transport).Clone()
+		tr.MaxIdleConns = c.Workers + 16
+		tr.MaxIdleConnsPerHost = c.Workers + 16
+		c.Client = &http.Client{Timeout: c.Timeout, Transport: tr}
+	}
+	return c, nil
+}
+
+// LatencyMs summarizes a latency distribution in milliseconds. P50/P95/P99
+// are interpolated from the fixed-bucket histogram (error bounded by bucket
+// width); Mean and Max are exact.
+type LatencyMs struct {
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+	P99  float64 `json:"p99"`
+	Mean float64 `json:"mean"`
+	Max  float64 `json:"max"`
+}
+
+// OpResult is one request type's outcome (plus the "all" aggregate row).
+type OpResult struct {
+	Name     string `json:"name"`
+	Requests int64  `json:"requests"`
+	// Errors are transport-level failures (no HTTP response); Non2xx are
+	// HTTP responses outside 2xx. Dropped counts open-loop dispatches shed
+	// because MaxInFlight was reached (never sent, not in Requests).
+	Errors        int64     `json:"errors"`
+	Non2xx        int64     `json:"non_2xx"`
+	Dropped       int64     `json:"dropped,omitempty"`
+	ThroughputRPS float64   `json:"throughput_rps"`
+	ErrorRate     float64   `json:"error_rate"`
+	LatencyMs     LatencyMs `json:"latency_ms"`
+}
+
+// Report is the run's machine-readable result, in the BENCH_*.json schema
+// family (same provenance header).
+type Report struct {
+	benchfmt.Header
+	// Mode is "closed" or "open".
+	Mode            string  `json:"mode"`
+	DurationSeconds float64 `json:"duration_seconds"`
+	Workers         int     `json:"workers"`
+	RateRPS         float64 `json:"rate_rps,omitempty"`
+	Tenants         int     `json:"tenants"`
+	Seed            int64   `json:"seed"`
+	// Results carries one row per active request type plus the "all"
+	// aggregate, which is always last.
+	Results []OpResult `json:"results"`
+}
+
+// All returns the aggregate row.
+func (r *Report) All() OpResult {
+	for _, res := range r.Results {
+		if res.Name == "all" {
+			return res
+		}
+	}
+	return OpResult{}
+}
+
+// opStats accumulates one request type's measurements.
+type opStats struct {
+	name     string
+	requests atomic.Int64
+	errors   atomic.Int64
+	non2xx   atomic.Int64
+	dropped  atomic.Int64
+	hist     *metrics.Histogram
+}
+
+type runner struct {
+	cfg     Config
+	ops     []string // weighted op names, one entry per weight unit
+	stats   map[string]*opStats
+	order   []string
+	execSQL []execTarget // benchmark-database execute targets
+	tenants []string
+}
+
+type execTarget struct {
+	Database string
+	SQL      string
+}
+
+// Run executes the configured load and returns the report. The context
+// cancels the run early (the report covers whatever completed).
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	r := &runner{cfg: cfg, stats: map[string]*opStats{}}
+	for name, w := range map[string]int{
+		"translate": cfg.Mix.Translate,
+		"execute":   cfg.Mix.Execute,
+		"batch":     cfg.Mix.Batch,
+		"jobs":      cfg.Mix.Jobs,
+	} {
+		if w <= 0 {
+			continue
+		}
+		r.stats[name] = &opStats{name: name, hist: metrics.NewHistogram(latencyBuckets)}
+		for i := 0; i < w; i++ {
+			r.ops = append(r.ops, name)
+		}
+	}
+	sort.Strings(r.ops) // deterministic op table independent of map order
+	for name := range r.stats {
+		r.order = append(r.order, name)
+	}
+	sort.Strings(r.order)
+
+	if cfg.Tenants > 0 {
+		if err := r.registerTenants(ctx); err != nil {
+			return nil, err
+		}
+	} else if r.stats["execute"] != nil {
+		if err := r.discoverExecTargets(ctx); err != nil {
+			return nil, err
+		}
+	}
+
+	start := time.Now()
+	deadline, cancel := context.WithTimeout(ctx, cfg.Duration)
+	defer cancel()
+	if cfg.Rate > 0 {
+		r.openLoop(deadline)
+	} else {
+		r.closedLoop(deadline)
+	}
+	elapsed := time.Since(start)
+
+	return r.report(elapsed), nil
+}
+
+// closedLoop: Workers goroutines issuing back-to-back requests.
+func (r *runner) closedLoop(ctx context.Context) {
+	var wg sync.WaitGroup
+	for w := 0; w < r.cfg.Workers; w++ {
+		wg.Add(1)
+		go func(me int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(r.cfg.Seed + int64(me)))
+			for ctx.Err() == nil {
+				r.do(ctx, rng.Intn(len(r.ops)), rng)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// openLoop: dispatch on a fixed-rate clock, independent of response times.
+func (r *runner) openLoop(ctx context.Context) {
+	interval := time.Duration(float64(time.Second) / r.cfg.Rate)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	sem := make(chan struct{}, r.cfg.MaxInFlight)
+	rng := rand.New(rand.NewSource(r.cfg.Seed))
+	var wg sync.WaitGroup
+	for {
+		select {
+		case <-ctx.Done():
+			wg.Wait()
+			return
+		case <-tick.C:
+			op := rng.Intn(len(r.ops))
+			// Per-request deterministic sub-seed: the worker rng below must
+			// not be shared across goroutines.
+			sub := rng.Int63()
+			select {
+			case sem <- struct{}{}:
+				wg.Add(1)
+				go func() {
+					defer func() { <-sem; wg.Done() }()
+					r.do(ctx, op, rand.New(rand.NewSource(sub)))
+				}()
+			default:
+				// The server (or the pool bound) can't keep up with the
+				// offered rate; shedding here keeps the clock honest instead
+				// of letting the generator degrade into a closed loop.
+				r.stats[r.ops[op]].dropped.Add(1)
+			}
+		}
+	}
+}
+
+// do issues one request of the given weighted-op index and records it.
+func (r *runner) do(ctx context.Context, opIdx int, rng *rand.Rand) {
+	name := r.ops[opIdx]
+	st := r.stats[name]
+	var (
+		status int
+		err    error
+	)
+	start := time.Now()
+	switch name {
+	case "translate":
+		status, err = r.doTranslate(ctx, rng)
+	case "execute":
+		status, err = r.doExecute(ctx, rng)
+	case "batch":
+		status, err = r.doBatch(ctx, rng)
+	case "jobs":
+		status, err = r.doJobs(ctx, rng)
+	}
+	if err != nil {
+		if ctx.Err() != nil {
+			// The run deadline tore the request down mid-flight; that is the
+			// harness stopping, not the server failing.
+			return
+		}
+		st.requests.Add(1)
+		st.errors.Add(1)
+		return
+	}
+	st.requests.Add(1)
+	st.hist.ObserveSince(start)
+	if status/100 != 2 {
+		st.non2xx.Add(1)
+	}
+}
+
+// post issues a JSON POST and drains the response body (keep-alive reuse).
+func (r *runner) post(ctx context.Context, path string, body any) (int, error) {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, r.cfg.BaseURL+path, bytes.NewReader(data))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := r.cfg.Client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+func (r *runner) doTranslate(ctx context.Context, rng *rand.Rand) (int, error) {
+	if len(r.tenants) > 0 {
+		tenant := r.tenants[rng.Intn(len(r.tenants))]
+		q := tenantQuestions[rng.Intn(len(tenantQuestions))]
+		return r.post(ctx, "/v1/translate", map[string]any{"database": tenant, "question": q})
+	}
+	return r.post(ctx, "/v1/translate", map[string]any{"task_id": rng.Intn(r.cfg.Tasks)})
+}
+
+func (r *runner) doExecute(ctx context.Context, rng *rand.Rand) (int, error) {
+	if len(r.tenants) > 0 {
+		tenant := r.tenants[rng.Intn(len(r.tenants))]
+		sql := tenantQueries[rng.Intn(len(tenantQueries))]
+		return r.post(ctx, "/v1/execute", map[string]any{"database": tenant, "sql": sql})
+	}
+	t := r.execSQL[rng.Intn(len(r.execSQL))]
+	return r.post(ctx, "/v1/execute", map[string]any{"database": t.Database, "sql": t.SQL})
+}
+
+func (r *runner) taskIDs(rng *rand.Rand) []int {
+	ids := make([]int, r.cfg.BatchSize)
+	for i := range ids {
+		ids[i] = rng.Intn(r.cfg.Tasks)
+	}
+	return ids
+}
+
+func (r *runner) doBatch(ctx context.Context, rng *rand.Rand) (int, error) {
+	if len(r.tenants) > 0 {
+		tenant := r.tenants[rng.Intn(len(r.tenants))]
+		qs := make([]string, r.cfg.BatchSize)
+		for i := range qs {
+			qs[i] = tenantQuestions[rng.Intn(len(tenantQuestions))]
+		}
+		return r.post(ctx, "/v1/batch", map[string]any{"database": tenant, "questions": qs})
+	}
+	return r.post(ctx, "/v1/batch", map[string]any{"task_ids": r.taskIDs(rng)})
+}
+
+func (r *runner) doJobs(ctx context.Context, rng *rand.Rand) (int, error) {
+	if len(r.tenants) > 0 {
+		tenant := r.tenants[rng.Intn(len(r.tenants))]
+		qs := make([]string, r.cfg.BatchSize)
+		for i := range qs {
+			qs[i] = tenantQuestions[rng.Intn(len(tenantQuestions))]
+		}
+		return r.post(ctx, "/v1/jobs", map[string]any{"database": tenant, "questions": qs, "label": "loadgen"})
+	}
+	return r.post(ctx, "/v1/jobs", map[string]any{"task_ids": r.taskIDs(rng), "label": "loadgen"})
+}
+
+// discoverExecTargets learns the benchmark databases (and a table each) from
+// GET /v1/databases, so /execute traffic needs no hand-configured SQL.
+func (r *runner) discoverExecTargets(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.cfg.BaseURL+"/v1/databases", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := r.cfg.Client.Do(req)
+	if err != nil {
+		return fmt.Errorf("loadgen: discovering databases: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("loadgen: GET /v1/databases: %d", resp.StatusCode)
+	}
+	var dbs []struct {
+		Name   string   `json:"name"`
+		Tables []string `json:"tables"`
+		Source string   `json:"source"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&dbs); err != nil {
+		return fmt.Errorf("loadgen: decoding /v1/databases: %v", err)
+	}
+	for _, db := range dbs {
+		if db.Source != "benchmark" || len(db.Tables) == 0 {
+			continue
+		}
+		r.execSQL = append(r.execSQL, execTarget{
+			Database: db.Name,
+			SQL:      "SELECT COUNT(*) FROM " + db.Tables[0],
+		})
+	}
+	if len(r.execSQL) == 0 {
+		return fmt.Errorf("loadgen: no benchmark databases discovered for /execute traffic")
+	}
+	return nil
+}
+
+// The synthetic tenant fixture: a tiny shop database whose demo pool doubles
+// as the question corpus (the simulated LLM needs the demo oracle, and exact
+// demo questions always resolve).
+var (
+	tenantQuestions = []string{
+		"How many items are there?",
+		"What is the average price of all items?",
+		"List the names of all items.",
+	}
+	tenantQueries = []string{
+		"SELECT COUNT(*) FROM items",
+		"SELECT AVG(price) FROM items",
+		"SELECT name FROM items ORDER BY price",
+	}
+)
+
+func tenantRegistration(name string) map[string]any {
+	return map[string]any{
+		"name": name,
+		"tables": []map[string]any{{
+			"name":        "items",
+			"primary_key": "id",
+			"columns": []map[string]any{
+				{"name": "id", "type": "number"},
+				{"name": "name", "type": "text"},
+				{"name": "price", "type": "number"},
+			},
+			"rows": [][]any{
+				{1.0, "anvil", 9.5},
+				{2.0, "rope", 3.25},
+				{3.0, "lantern", 12.0},
+				{4.0, "compass", 27.5},
+			},
+		}},
+		"demos": []map[string]any{
+			{"question": tenantQuestions[0], "sql": tenantQueries[0]},
+			{"question": tenantQuestions[1], "sql": tenantQueries[1]},
+			{"question": tenantQuestions[2], "sql": "SELECT name FROM items"},
+		},
+	}
+}
+
+// registerTenants registers the synthetic tenants (tolerating 409 from a
+// previous run against the same server).
+func (r *runner) registerTenants(ctx context.Context) error {
+	for i := 0; i < r.cfg.Tenants; i++ {
+		name := fmt.Sprintf("loadgen-%d", i)
+		status, err := r.post(ctx, "/v1/databases", tenantRegistration(name))
+		if err != nil {
+			return fmt.Errorf("loadgen: registering tenant %s: %v", name, err)
+		}
+		if status != http.StatusCreated && status != http.StatusConflict {
+			return fmt.Errorf("loadgen: registering tenant %s: HTTP %d (is the catalog enabled?)", name, status)
+		}
+		r.tenants = append(r.tenants, name)
+	}
+	return nil
+}
+
+// report assembles per-op rows plus the "all" aggregate.
+func (r *runner) report(elapsed time.Duration) *Report {
+	rep := &Report{
+		Header:          benchfmt.NewHeader(),
+		Mode:            "closed",
+		DurationSeconds: elapsed.Seconds(),
+		Workers:         r.cfg.Workers,
+		Tenants:         r.cfg.Tenants,
+		Seed:            r.cfg.Seed,
+	}
+	if r.cfg.Rate > 0 {
+		rep.Mode = "open"
+		rep.RateRPS = r.cfg.Rate
+	}
+	var (
+		agg      metrics.HistogramSnapshot
+		aggRow   = OpResult{Name: "all"}
+		haveBase bool
+	)
+	for _, name := range r.order {
+		st := r.stats[name]
+		snap := st.hist.Snapshot()
+		row := opRow(st, snap, elapsed)
+		rep.Results = append(rep.Results, row)
+		aggRow.Requests += row.Requests
+		aggRow.Errors += row.Errors
+		aggRow.Non2xx += row.Non2xx
+		aggRow.Dropped += row.Dropped
+		if !haveBase {
+			agg = snap
+			agg.Counts = append([]int64(nil), snap.Counts...)
+			haveBase = true
+			continue
+		}
+		for i := range agg.Counts {
+			agg.Counts[i] += snap.Counts[i]
+		}
+		agg.Count += snap.Count
+		agg.Sum += snap.Sum
+		if snap.Max > agg.Max {
+			agg.Max = snap.Max
+		}
+	}
+	aggRow.ThroughputRPS = rps(aggRow.Requests, elapsed)
+	aggRow.ErrorRate = errorRate(aggRow)
+	aggRow.LatencyMs = latencyMs(agg)
+	rep.Results = append(rep.Results, aggRow)
+	return rep
+}
+
+func opRow(st *opStats, snap metrics.HistogramSnapshot, elapsed time.Duration) OpResult {
+	row := OpResult{
+		Name:     st.name,
+		Requests: st.requests.Load(),
+		Errors:   st.errors.Load(),
+		Non2xx:   st.non2xx.Load(),
+		Dropped:  st.dropped.Load(),
+	}
+	row.ThroughputRPS = rps(row.Requests, elapsed)
+	row.ErrorRate = errorRate(row)
+	row.LatencyMs = latencyMs(snap)
+	return row
+}
+
+func rps(n int64, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(n) / elapsed.Seconds()
+}
+
+func errorRate(row OpResult) float64 {
+	if row.Requests == 0 {
+		return 0
+	}
+	return float64(row.Errors+row.Non2xx) / float64(row.Requests)
+}
+
+func latencyMs(s metrics.HistogramSnapshot) LatencyMs {
+	return LatencyMs{
+		P50:  s.Quantile(0.50) * 1000,
+		P95:  s.Quantile(0.95) * 1000,
+		P99:  s.Quantile(0.99) * 1000,
+		Mean: s.Mean() * 1000,
+		Max:  s.Max * 1000,
+	}
+}
+
+// WaitReady polls baseURL/healthz until it answers 200 or ctx expires — the
+// CI smoke boots the server in the background and must not race its warmup.
+func WaitReady(ctx context.Context, client *http.Client, baseURL string) error {
+	if client == nil {
+		client = &http.Client{Timeout: 2 * time.Second}
+	}
+	baseURL = strings.TrimRight(baseURL, "/")
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/healthz", nil)
+		if err != nil {
+			return err
+		}
+		resp, err := client.Do(req)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("loadgen: server not ready: %w", ctx.Err())
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}
+
+// CheckMetrics scrapes baseURL/v1/metrics, verifies the exposition parses,
+// and verifies the server-side http_requests_total sum accounts for at least
+// minRequests — the end-to-end proof that the middleware measured the load
+// the generator offered.
+func CheckMetrics(client *http.Client, baseURL string, minRequests int64) error {
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+	resp, err := client.Get(strings.TrimRight(baseURL, "/") + "/v1/metrics")
+	if err != nil {
+		return fmt.Errorf("loadgen: scraping metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("loadgen: GET /v1/metrics: %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	samples, err := metrics.ParseExposition(body)
+	if err != nil {
+		return fmt.Errorf("loadgen: /v1/metrics is not valid Prometheus text: %v", err)
+	}
+	if got := int64(metrics.SumSamples(samples, "http_requests_total")); got < minRequests {
+		return fmt.Errorf("loadgen: server counted %d requests, expected at least %d", got, minRequests)
+	}
+	return nil
+}

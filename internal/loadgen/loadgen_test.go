@@ -1,0 +1,204 @@
+package loadgen
+
+import (
+	"context"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/jobs"
+	"repro/internal/llm"
+	"repro/internal/metrics"
+	"repro/internal/service"
+	"repro/internal/spider"
+)
+
+// The serving substrate is expensive to train; build it once for the package.
+var (
+	srvOnce   sync.Once
+	srvCorpus *spider.Corpus
+	srvFB     *catalog.Fallback
+)
+
+func testService(t *testing.T) (*httptest.Server, *metrics.Registry) {
+	t.Helper()
+	srvOnce.Do(func() {
+		srvCorpus = spider.GenerateSmall(13, 0.05)
+		srvFB = catalog.NewFallback(srvCorpus.Train.Examples)
+	})
+	cfg := core.DefaultConfig()
+	cfg.Consistency = 3
+	client := llm.NewSim(llm.ChatGPT)
+	cache := llm.NewCache(client, 512)
+	cat, err := catalog.New(catalog.Config{Client: client, Fallback: srvFB, Pipeline: &cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := core.New(srvCorpus.Train.Examples, cache, cfg)
+	reg := metrics.NewRegistry()
+	s := service.New(p, srvCorpus,
+		service.WithCache(cache),
+		service.WithMetrics(reg),
+		service.WithCatalog(cat),
+		service.WithJobs(jobs.Config{Runners: 1, Queue: 8, TTL: -1}),
+	)
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+		cat.Close(ctx)
+	})
+	return srv, reg
+}
+
+func TestParseMix(t *testing.T) {
+	m, err := ParseMix("")
+	if err != nil || m != DefaultMix {
+		t.Fatalf("empty mix = %+v, %v; want default", m, err)
+	}
+	m, err = ParseMix("translate=2,execute=1")
+	if err != nil || m.Translate != 2 || m.Execute != 1 || m.Batch != 0 || m.Jobs != 0 {
+		t.Fatalf("mix = %+v, %v", m, err)
+	}
+	for _, bad := range []string{"translate", "translate=x", "bogus=1", "translate=0"} {
+		if _, err := ParseMix(bad); err == nil {
+			t.Errorf("ParseMix(%q) accepted", bad)
+		}
+	}
+}
+
+func TestClosedLoopRun(t *testing.T) {
+	srv, _ := testService(t)
+	rep, err := Run(context.Background(), Config{
+		BaseURL:   srv.URL,
+		Duration:  400 * time.Millisecond,
+		Workers:   4,
+		Mix:       Mix{Translate: 1, Execute: 2, Batch: 1, Jobs: 1},
+		Tasks:     4,
+		BatchSize: 3,
+		Seed:      7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := rep.All()
+	if all.Requests == 0 {
+		t.Fatal("closed loop produced no requests")
+	}
+	if all.Errors != 0 || all.Non2xx != 0 {
+		t.Fatalf("unexpected failures against a healthy server: %+v", all)
+	}
+	if rep.Mode != "closed" {
+		t.Errorf("mode = %q, want closed", rep.Mode)
+	}
+	l := all.LatencyMs
+	if !(l.P50 <= l.P95 && l.P95 <= l.P99) {
+		t.Errorf("percentiles out of order: %+v", l)
+	}
+	if l.Max <= 0 || l.Mean <= 0 {
+		t.Errorf("mean/max must be positive: %+v", l)
+	}
+	// Per-op rows precede the aggregate and sum to it.
+	var sum int64
+	seen := map[string]bool{}
+	for _, row := range rep.Results {
+		if row.Name == "all" {
+			continue
+		}
+		seen[row.Name] = true
+		sum += row.Requests
+	}
+	for _, op := range []string{"translate", "execute", "batch", "jobs"} {
+		if !seen[op] {
+			t.Errorf("missing row for %s", op)
+		}
+	}
+	if sum != all.Requests {
+		t.Errorf("per-op requests %d != aggregate %d", sum, all.Requests)
+	}
+	// The server-side middleware must account for at least what we sent.
+	if err := CheckMetrics(nil, srv.URL, all.Requests); err != nil {
+		t.Errorf("metrics self-check: %v", err)
+	}
+}
+
+func TestOpenLoopRun(t *testing.T) {
+	srv, _ := testService(t)
+	rep, err := Run(context.Background(), Config{
+		BaseURL:  srv.URL,
+		Duration: 400 * time.Millisecond,
+		Rate:     100,
+		Mix:      Mix{Execute: 1},
+		Seed:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := rep.All()
+	if rep.Mode != "open" || rep.RateRPS != 100 {
+		t.Errorf("mode/rate = %q/%g, want open/100", rep.Mode, rep.RateRPS)
+	}
+	if all.Requests == 0 {
+		t.Fatal("open loop produced no requests")
+	}
+	// The clock dispatches ~rate*duration requests; allow broad slack for CI
+	// timers but catch a loop that free-runs far beyond the configured rate.
+	if all.Requests+all.Dropped > 100 {
+		t.Errorf("open loop sent %d (+%d dropped), far over rate*duration=40", all.Requests, all.Dropped)
+	}
+	if all.Errors != 0 || all.Non2xx != 0 {
+		t.Fatalf("unexpected failures: %+v", all)
+	}
+}
+
+func TestTenantFanout(t *testing.T) {
+	srv, _ := testService(t)
+	rep, err := Run(context.Background(), Config{
+		BaseURL:  srv.URL,
+		Duration: 400 * time.Millisecond,
+		Workers:  3,
+		Mix:      Mix{Translate: 1, Execute: 1},
+		Tenants:  2,
+		Seed:     11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := rep.All()
+	if all.Requests == 0 {
+		t.Fatal("tenant run produced no requests")
+	}
+	if all.Errors != 0 || all.Non2xx != 0 {
+		t.Fatalf("unexpected failures on the tenant path: %+v", all)
+	}
+	// Re-running against the same server must tolerate the already-registered
+	// tenants (409 -> reuse).
+	rep, err = Run(context.Background(), Config{
+		BaseURL:  srv.URL,
+		Duration: 200 * time.Millisecond,
+		Workers:  2,
+		Mix:      Mix{Execute: 1},
+		Tenants:  2,
+		Seed:     12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.All(); got.Non2xx != 0 || got.Errors != 0 {
+		t.Fatalf("rerun against existing tenants failed: %+v", got)
+	}
+}
+
+func TestRunConfigValidation(t *testing.T) {
+	if _, err := Run(context.Background(), Config{Duration: time.Second}); err == nil {
+		t.Error("missing BaseURL accepted")
+	}
+	if _, err := Run(context.Background(), Config{BaseURL: "http://x"}); err == nil {
+		t.Error("missing Duration accepted")
+	}
+}

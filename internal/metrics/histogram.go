@@ -1,0 +1,169 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// DefBuckets are the default latency buckets in seconds: wide enough for an
+// HTTP path spanning cache hits (~100µs) through cold pipeline translations
+// (seconds), with roughly-logarithmic spacing so interpolated percentiles
+// stay within ~2x of the true value everywhere in the range.
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram is a fixed-bucket distribution instrument with Prometheus "le"
+// (cumulative upper-bound) semantics. Observe is lock-free: a binary search
+// over the bounds plus three atomic adds, no allocation. Percentiles are
+// extracted at read time by linear interpolation inside the owning bucket —
+// their error is bounded by the bucket width, which is why the default
+// buckets are log-spaced.
+type Histogram struct {
+	bounds  []float64      // ascending upper bounds; implicit +Inf after the last
+	counts  []atomic.Int64 // len(bounds)+1; counts[len(bounds)] is the +Inf bucket
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits of the running sum
+	maxBits atomic.Uint64 // float64 bits of the max observation
+}
+
+// NewHistogram builds a histogram over the given ascending, strictly
+// increasing upper bounds (a trailing +Inf bound is implicit and must not be
+// passed). It panics on unsorted or empty bounds: bucket layout is static
+// configuration, not input.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("metrics: histogram needs at least one bucket bound")
+	}
+	own := make([]float64, len(bounds))
+	copy(own, bounds)
+	for i, b := range own {
+		if math.IsInf(b, +1) {
+			panic("metrics: +Inf bound is implicit, do not pass it")
+		}
+		if i > 0 && own[i-1] >= b {
+			panic(fmt.Sprintf("metrics: histogram bounds not strictly increasing at %d (%g >= %g)", i, own[i-1], b))
+		}
+	}
+	return &Histogram{bounds: own, counts: make([]atomic.Int64, len(own)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// First bucket whose bound is >= v: Prometheus le semantics.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			break
+		}
+	}
+	// Max starts at float64-bits zero; negative observations simply never
+	// displace it, which is the right degradation for a latency instrument.
+	for {
+		old := h.maxBits.Load()
+		if math.Float64frombits(old) >= v {
+			break
+		}
+		if h.maxBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+}
+
+// ObserveSince records the seconds elapsed since start — the usual latency
+// call: defer-free, one time.Since.
+func (h *Histogram) ObserveSince(start time.Time) {
+	h.Observe(time.Since(start).Seconds())
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram's state. Under
+// concurrent observation the per-bucket counts are read individually, so a
+// snapshot may be torn by a handful of in-flight observations; for
+// monitoring-grade reads that skew is negligible and bounded by the number
+// of concurrently recording goroutines.
+type HistogramSnapshot struct {
+	// Bounds are the bucket upper bounds (ascending, +Inf implicit).
+	Bounds []float64
+	// Counts are per-bucket (non-cumulative) observation counts, one per
+	// bound plus the +Inf overflow bucket.
+	Counts []int64
+	// Count and Sum aggregate all observations; Max is the largest single
+	// observation (0 when Count is 0).
+	Count int64
+	Sum   float64
+	Max   float64
+}
+
+// Snapshot copies the histogram state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]int64, len(h.counts)),
+		Count:  h.count.Load(),
+		Sum:    math.Float64frombits(h.sumBits.Load()),
+	}
+	if s.Count > 0 {
+		s.Max = math.Float64frombits(h.maxBits.Load())
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Quantile estimates the q-quantile (0 < q < 1) by locating the bucket that
+// contains the target rank and interpolating linearly inside it. The first
+// bucket interpolates from 0 (these are latency histograms; negative
+// observations land in the first bucket and degrade gracefully). Ranks in
+// the +Inf bucket return the largest finite bound — the histogram cannot see
+// past it. Returns 0 when the histogram is empty.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	cum := int64(0)
+	for i, c := range s.Counts {
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		if i == len(s.Bounds) { // +Inf bucket: no upper edge to interpolate to
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		hi := s.Bounds[i]
+		if c == 0 {
+			return hi
+		}
+		// Position of the rank inside this bucket's count mass.
+		inBucket := rank - float64(cum-c)
+		return lo + (hi-lo)*(inBucket/float64(c))
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// Mean is Sum/Count, or 0 when empty.
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}

@@ -1,0 +1,249 @@
+// Package metrics is a lightweight, allocation-conscious instrumentation
+// registry: counters, gauges and fixed-bucket latency histograms, exported in
+// Prometheus text exposition format. It exists so the serving stack (HTTP
+// routes, tenants, job queues, caches) has one latency-distribution-aware
+// measurement layer instead of ad-hoc JSON counter blobs.
+//
+// Design:
+//
+//   - Instruments are created once (get-or-create by name + label set) and
+//     held as handles; the record path on a handle is one or two atomic
+//     operations and allocates nothing. Get-or-create takes a read lock and
+//     allocates only the label-key string, so even un-cached lookups are
+//     cheap — but hot paths should keep the handle.
+//   - Histograms use fixed, ascending upper-bound buckets (Prometheus "le"
+//     semantics). Observation is a binary search plus two atomic adds;
+//     p50/p95/p99 come from linear interpolation inside the owning bucket at
+//     read time, never from stored samples.
+//   - Dynamic populations (per-tenant counters, queue depths, cache sizes)
+//     are exported by scrape-time collectors registered with
+//     Registry.Collect: the subsystem keeps its own counters and contributes
+//     samples only when /v1/metrics is scraped, so its hot path is untouched.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Label is one name/value pair attached to an instrument.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+type kind uint8
+
+const (
+	counterKind kind = iota
+	gaugeKind
+	histogramKind
+)
+
+func (k kind) String() string {
+	switch k {
+	case counterKind:
+		return "counter"
+	case gaugeKind:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// family groups every series sharing one metric name.
+type family struct {
+	name string
+	help string
+	kind kind
+
+	mu     sync.RWMutex
+	series map[string]any // labelKey -> *Counter | *Gauge | *Histogram
+}
+
+// Registry owns a set of metric families plus scrape-time collectors.
+// All methods are safe for concurrent use.
+type Registry struct {
+	mu         sync.RWMutex
+	families   map[string]*family
+	collectors []func(*Sink)
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// Collect registers a scrape-time collector: fn runs on every exposition and
+// contributes samples through the Sink. Use collectors for values that already
+// live elsewhere (queue depths, cache counters, per-tenant totals) so the
+// owning subsystem's hot path stays untouched. Register each collector once.
+func (r *Registry) Collect(fn func(*Sink)) {
+	r.mu.Lock()
+	r.collectors = append(r.collectors, fn)
+	r.mu.Unlock()
+}
+
+// family returns the named family, creating it on first use. A name reused
+// with a different instrument kind panics: that is a programming error which
+// would emit a self-contradictory exposition.
+func (r *Registry) family(name, help string, k kind) *family {
+	if err := checkMetricName(name); err != nil {
+		panic(err)
+	}
+	r.mu.RLock()
+	f := r.families[name]
+	r.mu.RUnlock()
+	if f == nil {
+		r.mu.Lock()
+		if f = r.families[name]; f == nil {
+			f = &family{name: name, help: help, kind: k, series: map[string]any{}}
+			r.families[name] = f
+		}
+		r.mu.Unlock()
+	}
+	if f.kind != k {
+		panic(fmt.Sprintf("metrics: %s registered as %s, requested as %s", name, f.kind, k))
+	}
+	return f
+}
+
+// Counter returns the counter for (name, labels), creating it on first use.
+// Help is set by the first caller; later values are ignored.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	f := r.family(name, help, counterKind)
+	key := labelKey(labels)
+	f.mu.RLock()
+	got := f.series[key]
+	f.mu.RUnlock()
+	if got == nil {
+		f.mu.Lock()
+		if got = f.series[key]; got == nil {
+			got = &Counter{}
+			f.series[key] = got
+		}
+		f.mu.Unlock()
+	}
+	return got.(*Counter)
+}
+
+// Gauge returns the gauge for (name, labels), creating it on first use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	f := r.family(name, help, gaugeKind)
+	key := labelKey(labels)
+	f.mu.RLock()
+	got := f.series[key]
+	f.mu.RUnlock()
+	if got == nil {
+		f.mu.Lock()
+		if got = f.series[key]; got == nil {
+			got = &Gauge{}
+			f.series[key] = got
+		}
+		f.mu.Unlock()
+	}
+	return got.(*Gauge)
+}
+
+// Histogram returns the histogram for (name, labels), creating it with the
+// given bucket upper bounds on first use (see NewHistogram for bound rules).
+// Buckets are fixed at creation; later callers' bucket arguments are ignored.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	f := r.family(name, help, histogramKind)
+	key := labelKey(labels)
+	f.mu.RLock()
+	got := f.series[key]
+	f.mu.RUnlock()
+	if got == nil {
+		f.mu.Lock()
+		if got = f.series[key]; got == nil {
+			got = NewHistogram(buckets)
+			f.series[key] = got
+		}
+		f.mu.Unlock()
+	}
+	return got.(*Histogram)
+}
+
+// labelKey renders a canonical (sorted, escaped) key for a label set. The
+// key doubles as the rendered exposition label block, so writing a sample is
+// pure concatenation. Zero labels yield the empty key with no allocation.
+func labelKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	sorted := make([]Label, len(labels))
+	copy(sorted, labels)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	var sb strings.Builder
+	for i, l := range sorted {
+		if err := checkLabelName(l.Name); err != nil {
+			panic(err)
+		}
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l.Name)
+		sb.WriteString(`="`)
+		escapeLabelValue(&sb, l.Value)
+		sb.WriteByte('"')
+	}
+	return sb.String()
+}
+
+func escapeLabelValue(sb *strings.Builder, v string) {
+	for _, r := range v {
+		switch r {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteRune(r)
+		}
+	}
+}
+
+// checkMetricName enforces the Prometheus metric-name grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func checkMetricName(name string) error {
+	if name == "" {
+		return fmt.Errorf("metrics: empty metric name")
+	}
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return fmt.Errorf("metrics: invalid metric name %q", name)
+		}
+	}
+	return nil
+}
+
+// checkLabelName enforces [a-zA-Z_][a-zA-Z0-9_]* and reserves the "le" label
+// for histogram buckets.
+func checkLabelName(name string) error {
+	if name == "" {
+		return fmt.Errorf("metrics: empty label name")
+	}
+	if name == "le" {
+		return fmt.Errorf("metrics: label name %q is reserved for histogram buckets", name)
+	}
+	for i, r := range name {
+		ok := r == '_' ||
+			r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return fmt.Errorf("metrics: invalid label name %q", name)
+		}
+	}
+	return nil
+}

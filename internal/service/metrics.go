@@ -1,0 +1,105 @@
+package service
+
+import (
+	"bytes"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// serverMetrics holds the server's HTTP-path instruments. Each registered
+// route pre-resolves its latency histogram at Handler() time and caches its
+// per-status counters in a sync.Map, so the per-request record path is two
+// atomic bumps, a histogram observe and (warm) one lock-free map load — no
+// label rendering and no registry lookups.
+type serverMetrics struct {
+	reg      *metrics.Registry
+	inflight *metrics.Gauge
+}
+
+func newServerMetrics(reg *metrics.Registry) *serverMetrics {
+	return &serverMetrics{
+		reg:      reg,
+		inflight: reg.Gauge("http_inflight_requests", "HTTP requests currently being served."),
+	}
+}
+
+// routeMetrics is one route's instrument handles.
+type routeMetrics struct {
+	m     *serverMetrics
+	route string
+	hist  *metrics.Histogram
+	codes sync.Map // int status -> *metrics.Counter
+}
+
+func (m *serverMetrics) route(pattern string) *routeMetrics {
+	return &routeMetrics{
+		m:     m,
+		route: pattern,
+		hist: m.reg.Histogram("http_request_duration_seconds",
+			"HTTP request latency by route.", metrics.DefBuckets, metrics.L("route", pattern)),
+	}
+}
+
+func (rm *routeMetrics) counterFor(status int) *metrics.Counter {
+	if c, ok := rm.codes.Load(status); ok {
+		return c.(*metrics.Counter)
+	}
+	c := rm.m.reg.Counter("http_requests_total", "HTTP requests by route and status code.",
+		metrics.L("route", rm.route), metrics.L("code", strconv.Itoa(status)))
+	actual, _ := rm.codes.LoadOrStore(status, c)
+	return actual.(*metrics.Counter)
+}
+
+// statusRecorder captures the response status for the request counter.
+// Handlers that never call WriteHeader implicitly answer 200.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with the route's request counter and latency
+// histogram. With metrics disabled it returns the handler unchanged, so the
+// default server pays nothing.
+func (s *Server) instrument(pattern string, h http.HandlerFunc) http.HandlerFunc {
+	if s.metrics == nil {
+		return h
+	}
+	rm := s.metrics.route(pattern)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		s.metrics.inflight.Add(1)
+		// Deferred so a panicking handler (net/http recovers it per
+		// connection) still decrements the in-flight gauge and records the
+		// request — otherwise each panic drifts the gauge up permanently.
+		defer func() {
+			s.metrics.inflight.Add(-1)
+			rm.hist.ObserveSince(start)
+			rm.counterFor(rec.status).Inc()
+		}()
+		h(rec, r)
+	}
+}
+
+// handleMetrics serves the registry in Prometheus text exposition format.
+// The exposition is rendered to memory first so a failure (a collector
+// emitting an invalid name) can still answer 500 — streaming would have
+// committed the 200 status line before the error surfaced.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var buf bytes.Buffer
+	if err := s.metrics.reg.WritePrometheus(&buf); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", metrics.ContentType)
+	w.Write(buf.Bytes())
+}

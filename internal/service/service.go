@@ -17,6 +17,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/jobs"
 	"repro/internal/llm"
+	"repro/internal/metrics"
 	"repro/internal/spider"
 	"repro/internal/sqlexec"
 )
@@ -35,6 +36,7 @@ type Server struct {
 	cache    *llm.Cache
 	jobs     *jobs.Manager
 	catalog  *catalog.Catalog
+	metrics  *serverMetrics
 	workers  int
 	maxBatch int
 
@@ -89,6 +91,16 @@ func WithCatalog(c *catalog.Catalog) Option {
 // Catalog exposes the tenant registry (nil unless WithCatalog was passed).
 func (s *Server) Catalog() *catalog.Catalog { return s.catalog }
 
+// WithMetrics enables the observability layer on reg: every route is wrapped
+// in per-route/per-status request counters and latency histograms, a GET
+// /v1/metrics endpoint serves the registry in Prometheus text format, and
+// the server's subsystems (LLM cache, shared plan cache, jobs, catalog) are
+// registered as scrape-time collectors. Pass a fresh registry per server —
+// collectors are registered once, in New.
+func WithMetrics(reg *metrics.Registry) Option {
+	return func(s *Server) { s.metrics = newServerMetrics(reg) }
+}
+
 // New builds a server around a constructed pipeline and its corpus.
 func New(p *core.Pipeline, c *spider.Corpus, opts ...Option) *Server {
 	s := &Server{
@@ -114,6 +126,21 @@ func New(p *core.Pipeline, c *spider.Corpus, opts ...Option) *Server {
 			s.resMu.Unlock()
 		})
 	}
+	if s.metrics != nil {
+		// Subsystem counters are exported by scrape-time collectors: the
+		// owning packages keep their existing atomic counters and contribute
+		// samples only when /v1/metrics is scraped.
+		if s.cache != nil {
+			s.cache.Instrument(s.metrics.reg, "llm")
+		}
+		sqlexec.Shared.Instrument(s.metrics.reg, "shared")
+		if s.jobs != nil {
+			s.jobs.Instrument(s.metrics.reg)
+		}
+		if s.catalog != nil {
+			s.catalog.Instrument(s.metrics.reg)
+		}
+	}
 	return s
 }
 
@@ -138,26 +165,35 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // Link headers.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /v1/databases", s.handleDatabases)
-	mux.HandleFunc("POST /v1/translate", s.handleTranslate)
-	mux.HandleFunc("POST /v1/execute", s.handleExecute)
-	mux.HandleFunc("POST /v1/batch", s.handleBatch)
-	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	// handle wraps every route in the metrics middleware (a no-op when
+	// metrics are disabled); the registered pattern doubles as the route
+	// label, keeping label cardinality bounded by the route table.
+	handle := func(pattern string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, s.instrument(pattern, h))
+	}
+	handle("GET /v1/databases", s.handleDatabases)
+	handle("POST /v1/translate", s.handleTranslate)
+	handle("POST /v1/execute", s.handleExecute)
+	handle("POST /v1/batch", s.handleBatch)
+	handle("GET /v1/stats", s.handleStats)
+	if s.metrics != nil {
+		handle("GET /v1/metrics", s.handleMetrics)
+	}
 	if s.catalog != nil {
-		mux.HandleFunc("POST /v1/databases", s.handleDatabaseRegister)
-		mux.HandleFunc("GET /v1/databases/{name}", s.handleDatabaseGet)
-		mux.HandleFunc("PUT /v1/databases/{name}", s.handleDatabaseReplace)
-		mux.HandleFunc("DELETE /v1/databases/{name}", s.handleDatabaseDelete)
+		handle("POST /v1/databases", s.handleDatabaseRegister)
+		handle("GET /v1/databases/{name}", s.handleDatabaseGet)
+		handle("PUT /v1/databases/{name}", s.handleDatabaseReplace)
+		handle("DELETE /v1/databases/{name}", s.handleDatabaseDelete)
 	}
 	if s.jobs != nil {
-		mux.HandleFunc("POST /v1/jobs", s.handleJobCreate)
-		mux.HandleFunc("GET /v1/jobs", s.handleJobList)
-		mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
-		mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+		handle("POST /v1/jobs", s.handleJobCreate)
+		handle("GET /v1/jobs", s.handleJobList)
+		handle("GET /v1/jobs/{id}", s.handleJobGet)
+		handle("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	}
-	mux.HandleFunc("GET /databases", deprecated("/v1/databases", s.handleDatabases))
-	mux.HandleFunc("POST /translate", deprecated("/v1/translate", s.handleTranslate))
-	mux.HandleFunc("POST /execute", deprecated("/v1/execute", s.handleExecute))
+	handle("GET /databases", deprecated("/v1/databases", s.handleDatabases))
+	handle("POST /translate", deprecated("/v1/translate", s.handleTranslate))
+	handle("POST /execute", deprecated("/v1/execute", s.handleExecute))
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		w.Write([]byte("ok"))
@@ -520,7 +556,8 @@ func writeExecResult(w http.ResponseWriter, res *sqlexec.Result, err error) {
 
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-	}
+	// Encode streams straight to the wire: by the time it can fail (client
+	// gone mid-body), the status line has been sent, so answering with
+	// http.Error would only double-write the header.
+	_ = json.NewEncoder(w).Encode(v)
 }

@@ -1,0 +1,20 @@
+package sqlexec
+
+import "repro/internal/metrics"
+
+// Instrument registers a scrape-time collector exposing the plan cache's
+// counters as plan_cache_* series labeled {cache=name} — pass "shared" for
+// the process-wide Shared cache the eval/adaption/execute paths go through.
+// The cache's hot path is untouched; Stats() is read only at scrape time.
+// Register each cache once per registry.
+func (c *PlanCache) Instrument(reg *metrics.Registry, name string) {
+	lbl := metrics.L("cache", name)
+	reg.Collect(func(s *metrics.Sink) {
+		st := c.Stats()
+		s.Counter("plan_cache_hits_total", "Prepared-statement cache hits.", float64(st.Hits), lbl)
+		s.Counter("plan_cache_misses_total", "Prepared-statement cache misses.", float64(st.Misses), lbl)
+		s.Counter("plan_cache_evictions_total", "Prepared-statement cache LRU evictions.", float64(st.Evictions), lbl)
+		s.Gauge("plan_cache_size", "Statements resident in the plan cache.", float64(st.Size), lbl)
+		s.Gauge("plan_cache_capacity", "Configured plan cache capacity in statements.", float64(st.Capacity), lbl)
+	})
+}
