@@ -20,6 +20,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/service"
 	"repro/internal/spider"
+	"repro/internal/sqlexec"
 )
 
 // shutdownSignals is the set main traps for graceful drain. Both SIGINT
@@ -44,6 +45,7 @@ type appConfig struct {
 	TenantCacheCap int
 	BootstrapSeeds string
 	Pprof          bool
+	RowEngine      bool
 }
 
 // app is the assembled server: the HTTP listener plus the subsystems whose
@@ -63,6 +65,10 @@ type app struct {
 // (so the caller knows Addr is serving when newApp returns).
 func newApp(cfg appConfig) (*app, error) {
 	start := time.Now()
+	if cfg.RowEngine {
+		sqlexec.SetDefaultRowEngine(true)
+		log.Printf("row-at-a-time execution engine selected (-row-engine)")
+	}
 	log.Printf("generating corpus (scale=%.2f) and training pipeline...", cfg.Scale)
 	corpus := spider.GenerateSmall(cfg.Seed, cfg.Scale)
 	base := llm.Client(llm.NewSim(llm.ChatGPT))

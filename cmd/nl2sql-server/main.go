@@ -52,6 +52,7 @@ func main() {
 	flag.IntVar(&cfg.TenantCacheCap, "tenant-cache", 1024, "per-tenant LLM cache capacity in entries (<0 disables)")
 	flag.StringVar(&cfg.BootstrapSeeds, "bootstrap-seeds", "1,2", "comma-separated corpus seeds whose training splits train the catalog's shared warming models")
 	flag.BoolVar(&cfg.Pprof, "pprof", false, "mount net/http/pprof debug endpoints under /debug/pprof/")
+	flag.BoolVar(&cfg.RowEngine, "row-engine", false, "execute SQL row-at-a-time instead of through the vectorized columnar engine (escape hatch / A-B baseline)")
 	flag.Parse()
 
 	a, err := newApp(cfg)

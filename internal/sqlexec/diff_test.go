@@ -18,11 +18,12 @@ import (
 // scans, sort-based dedup — no hash joins, no memoization, no working-set
 // reuse) plus tests asserting the engine and the reference produce
 // identical results on every corpus gold query and on hundreds of
-// randomized queries. Every query runs through BOTH physical paths — the
-// fully optimized plan (hash joins, pushdown, hash IN sets, folding) and
-// the Unoptimized() plan (forced nested loops, no rewrites) — and each must
-// agree with the reference. Future executor optimizations must keep beating
-// this oracle.
+// randomized queries. Every query runs through FOUR physical paths — the
+// columnar engine and the row engine, each under the fully optimized plan
+// (hash joins, pushdown, hash IN sets, folding) and the Unoptimized() plan
+// (forced nested loops, no rewrites) — and each must agree with the
+// reference; between the engines, error strings must match exactly. Future
+// executor optimizations must keep beating this oracle.
 
 // ---- reference evaluator ----
 
@@ -930,9 +931,33 @@ func sameResult(got, want *Result) string {
 	return ""
 }
 
-// diffOne runs one query through the optimized plan, the forced
-// nested-loop/unoptimized plan, and the reference evaluator, and demands
-// three-way agreement on both errors and results.
+// rowEngine flips one option set onto the row-at-a-time execution path,
+// keeping every optimizer setting intact.
+func rowEngine(o PlanOptions) PlanOptions {
+	o.RowEngine = true
+	return o
+}
+
+// diffPaths is every physical path a query can take: the columnar engine and
+// the row engine, each under the fully optimized plan and the forced
+// nested-loop/unoptimized plan.
+var diffPaths = []struct {
+	name string
+	opts PlanOptions
+}{
+	{"columnar", PlanOptions{}},
+	{"columnar-nested-loop", Unoptimized()},
+	{"row", rowEngine(PlanOptions{})},
+	{"row-nested-loop", rowEngine(Unoptimized())},
+}
+
+// diffOne runs one query through all four physical paths (columnar and row
+// engine, optimized and nested-loop) plus the reference evaluator, and
+// demands agreement on both errors and results. Between the two engines the
+// bar is higher than against the reference: error strings must match
+// EXACTLY, pinning the lazy-error ordering the columnar kernels must
+// preserve (which error fires first is observable whenever a row carries
+// more than one fault).
 func diffOne(t *testing.T, db *schema.Database, sel *sqlir.Select) (ok, executed bool) {
 	t.Helper()
 	want, wantErr := refExec(db, sel)
@@ -944,14 +969,10 @@ func diffOne(t *testing.T, db *schema.Database, sel *sqlir.Select) (ok, executed
 		return sql
 	}
 	ok = true
-	for _, path := range []struct {
-		name string
-		opts PlanOptions
-	}{
-		{"optimized", PlanOptions{}},
-		{"nested-loop", Unoptimized()},
-	} {
+	errs := make([]error, len(diffPaths))
+	for pi, path := range diffPaths {
 		got, gotErr := ExecOptions(db, sel, path.opts)
+		errs[pi] = gotErr
 		if (gotErr == nil) != (wantErr == nil) {
 			t.Errorf("[%s] error disagreement on %q\n  engine: %v\n  ref:    %v", path.name, lazySQL(), gotErr, wantErr)
 			ok = false
@@ -962,6 +983,16 @@ func diffOne(t *testing.T, db *schema.Database, sel *sqlir.Select) (ok, executed
 		}
 		if msg := sameResult(got, want); msg != "" {
 			t.Errorf("[%s] result divergence on %q (db %s): %s", path.name, lazySQL(), db.Name, msg)
+			ok = false
+		}
+	}
+	// Cross-engine error identity: columnar vs row under the same plan
+	// shape must produce the very same error text.
+	for pi := 0; pi < 2; pi++ {
+		ce, re := errs[pi], errs[pi+2]
+		if (ce == nil) != (re == nil) || (ce != nil && ce.Error() != re.Error()) {
+			t.Errorf("engine error mismatch on %q\n  %s: %v\n  %s: %v",
+				lazySQL(), diffPaths[pi].name, ce, diffPaths[pi+2].name, re)
 			ok = false
 		}
 	}

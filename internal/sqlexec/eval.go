@@ -738,8 +738,12 @@ func parseNum(s string) (float64, bool) {
 // past the last anchor. Worst case O(len(s)·len(p)) — the old recursive
 // matcher was exponential on %-heavy patterns (see TestLikePathological).
 func likeMatch(s, pattern string) bool {
-	s = strings.ToLower(s)
-	p := strings.ToLower(pattern)
+	return likeLower(strings.ToLower(s), strings.ToLower(pattern))
+}
+
+// likeLower is the matcher core over already-lowered subject and pattern;
+// the vectorized LIKE kernel calls it directly with a pre-lowered pattern.
+func likeLower(s, p string) bool {
 	si, pi := 0, 0
 	star, anchor := -1, 0
 	for si < len(s) {

@@ -1,0 +1,71 @@
+package sqlexec
+
+import (
+	"testing"
+
+	"repro/internal/spider"
+	"repro/internal/sqlir"
+)
+
+// FuzzExecDifferential feeds arbitrary SQL through the parser and, for
+// whatever parses, executes it on a fixed corpus database under both
+// engines (columnar and row-at-a-time) in both plan shapes (optimized and
+// forced nested-loop). Any divergence — result rows, canonical encoding,
+// ordered flag, or the exact error string — is a crash. The engines share
+// the planner and the semantic contract, so there is no benign reason for
+// them to disagree; this is the moving fence around the vectorized kernels'
+// lazy-error ordering.
+func FuzzExecDifferential(f *testing.F) {
+	for _, s := range []string{
+		"SELECT * FROM t",
+		"SELECT a, b FROM t WHERE a = 1 AND b < 'x' ORDER BY a DESC LIMIT 3",
+		"SELECT COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 2",
+		"SELECT t1.a FROM t1 JOIN t2 ON t1.id = t2.id WHERE t2.b IN (1, 2, 3)",
+		"SELECT a FROM t WHERE b BETWEEN 1 AND 5 OR c LIKE '%x%'",
+		"SELECT a FROM t WHERE NOT a = 1 AND b IS NOT NULL",
+		"SELECT a FROM t WHERE a IN (SELECT b FROM u) UNION SELECT c FROM v",
+		"SELECT DISTINCT a + b * 2 FROM t AS x WHERE a / 2 >= 1",
+		"SELECT MAX(a) - MIN(a) FROM t",
+		"SELECT a FROM t WHERE a > (SELECT AVG(b) FROM u)",
+	} {
+		f.Add(s)
+	}
+	c := spider.GenerateSmall(7, 0.02)
+	for i, e := range c.Dev.Examples {
+		if i >= 64 {
+			break
+		}
+		f.Add(e.GoldSQL)
+	}
+	dbs := c.Dev.Databases
+	if len(dbs) == 0 {
+		f.Fatal("no databases")
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		if len(input) > 1<<12 {
+			t.Skip("input too large")
+		}
+		sel, err := sqlir.Parse(input)
+		if err != nil {
+			return
+		}
+		// Spread parsed inputs across the corpus databases so table and
+		// column names resolve under more than one schema.
+		db := dbs[len(input)%len(dbs)]
+		for _, opts := range []PlanOptions{{}, Unoptimized()} {
+			cRes, cErr := ExecOptions(db, sel, opts)
+			rRes, rErr := ExecOptions(db, sel, rowEngine(opts))
+			if (cErr == nil) != (rErr == nil) || (cErr != nil && cErr.Error() != rErr.Error()) {
+				t.Fatalf("engine error divergence on %q (db %s, nested-loop=%v)\n  columnar: %v\n  row:      %v",
+					input, db.Name, opts.ForceNestedLoop, cErr, rErr)
+			}
+			if cErr != nil {
+				continue
+			}
+			if msg := sameResult(cRes, rRes); msg != "" {
+				t.Fatalf("engine result divergence on %q (db %s, nested-loop=%v): %s",
+					input, db.Name, opts.ForceNestedLoop, msg)
+			}
+		}
+	})
+}

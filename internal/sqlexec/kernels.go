@@ -1,0 +1,449 @@
+package sqlexec
+
+import (
+	"math"
+	"strings"
+
+	"repro/internal/schema"
+)
+
+// This file compiles vector-safe expressions — the same grammar the
+// optimizer's errorFreeBool/errorFreeValue classifiers admit — into kernel
+// plans. A kernel plan is built once at plan time against a layout map;
+// binding it to a batch at execution inspects the concrete vector
+// representations and picks a type-specialized lane function (packed
+// float/string comparisons, bitmap null tests, folded LIKE, typed IN
+// membership) or, when the shapes don't line up, a generic lane function
+// over boxed values. Either way the result is bit-identical to the row
+// closures in eval.go: the specializations below each replicate
+// Value.Compare/Value.Equal semantics exactly, including the NaN corner
+// (Compare treats NaN as equal to every number) and -0/+0 folding.
+//
+// Only provably error-free expressions reach this compiler, so lane
+// functions return bare values — error plumbing stays in the row closures,
+// which the columnar pipeline falls back to (lane-at-a-time, in row-major
+// order) for everything error-capable.
+
+type lanePred = func(int32) bool
+
+type laneVal = func(int32) schema.Value
+
+// kpred is a compiled vector-safe boolean expression.
+type kpred interface {
+	bindPred(b *colBatch) lanePred
+}
+
+// kval is a compiled vector-safe scalar expression.
+type kval interface {
+	bindVal(b *colBatch) laneVal
+}
+
+// ---- scalar kernels ----
+
+// kvCol reads a batch column.
+type kvCol struct{ col int }
+
+func (k kvCol) bindVal(b *colBatch) laneVal { return b.cols[k.col].value }
+
+// kvConst is a constant.
+type kvConst struct{ v schema.Value }
+
+func (k kvConst) bindVal(*colBatch) laneVal {
+	v := k.v
+	return func(int32) schema.Value { return v }
+}
+
+// kvBool adapts a boolean kernel into 1/0 value context.
+type kvBool struct{ p kpred }
+
+func (k kvBool) bindVal(b *colBatch) laneVal {
+	p := k.p.bindPred(b)
+	one, zero := schema.N(1), schema.N(0)
+	return func(i int32) schema.Value {
+		if p(i) {
+			return one
+		}
+		return zero
+	}
+}
+
+// ---- boolean kernels ----
+
+type kpConst struct{ b bool }
+
+func (k kpConst) bindPred(*colBatch) lanePred {
+	b := k.b
+	return func(int32) bool { return b }
+}
+
+type kpAnd struct{ l, r kpred }
+
+func (k kpAnd) bindPred(b *colBatch) lanePred {
+	lf, rf := k.l.bindPred(b), k.r.bindPred(b)
+	return func(i int32) bool { return lf(i) && rf(i) }
+}
+
+type kpOr struct{ l, r kpred }
+
+func (k kpOr) bindPred(b *colBatch) lanePred {
+	lf, rf := k.l.bindPred(b), k.r.bindPred(b)
+	return func(i int32) bool { return lf(i) || rf(i) }
+}
+
+type kpNot struct{ e kpred }
+
+func (k kpNot) bindPred(b *colBatch) lanePred {
+	ef := k.e.bindPred(b)
+	return func(i int32) bool { return !ef(i) }
+}
+
+// kpCmp is a comparison. Specializations preserve Compare's NaN behaviour:
+// Compare returns 0 when either float ordering test fails, so `NaN = x` is
+// true and `NaN < x` is false — hence the branch-inverted forms below
+// instead of naive float operators.
+type kpCmp struct {
+	op   string
+	l, r kval
+}
+
+func (k kpCmp) bindPred(b *colBatch) lanePred {
+	l, r := k.l, k.r
+	op := k.op
+	if _, ok := l.(kvConst); ok {
+		if _, ok := r.(kvCol); ok {
+			l, r = r, l
+			op = flipCmp(op)
+		}
+	}
+	if lc, ok := l.(kvCol); ok {
+		v := b.cols[lc.col]
+		if rc, ok := r.(kvConst); ok {
+			switch {
+			case rc.v.Kind == schema.KindNull:
+				return func(int32) bool { return false }
+			case v.kind == vecNum && rc.v.Kind == schema.KindNum:
+				return bindNumConstCmp(op, v, rc.v.Num)
+			case v.kind == vecStr && rc.v.Kind == schema.KindStr:
+				return bindStrConstCmp(op, v, rc.v.Str)
+			}
+		}
+		if rc, ok := r.(kvCol); ok {
+			w := b.cols[rc.col]
+			if v.kind == vecNum && w.kind == vecNum {
+				return bindNumNumCmp(op, v, w)
+			}
+		}
+	}
+	lf, rf := l.bindVal(b), r.bindVal(b)
+	return func(i int32) bool { return compare(op, lf(i), rf(i)) }
+}
+
+func flipCmp(op string) string {
+	switch op {
+	case "<":
+		return ">"
+	case "<=":
+		return ">="
+	case ">":
+		return "<"
+	case ">=":
+		return "<="
+	}
+	return op // = and != are symmetric
+}
+
+func bindNumConstCmp(op string, v *vec, c float64) lanePred {
+	nums, null := v.nums, v.null
+	if null == nil {
+		// Null-free column: pure branch-inverted float loops.
+		switch op {
+		case "=":
+			return func(i int32) bool { x := nums[i]; return !(x < c) && !(x > c) }
+		case "!=":
+			return func(i int32) bool { x := nums[i]; return x < c || x > c }
+		case "<":
+			return func(i int32) bool { return nums[i] < c }
+		case "<=":
+			return func(i int32) bool { return !(nums[i] > c) }
+		case ">":
+			return func(i int32) bool { return nums[i] > c }
+		case ">=":
+			return func(i int32) bool { return !(nums[i] < c) }
+		}
+		return func(int32) bool { return false }
+	}
+	notNull := func(i int32) bool {
+		return null[uint(i)>>6]&(1<<(uint(i)&63)) == 0
+	}
+	switch op {
+	case "=":
+		return func(i int32) bool { x := nums[i]; return notNull(i) && !(x < c) && !(x > c) }
+	case "!=":
+		return func(i int32) bool { x := nums[i]; return notNull(i) && (x < c || x > c) }
+	case "<":
+		return func(i int32) bool { return notNull(i) && nums[i] < c }
+	case "<=":
+		return func(i int32) bool { return notNull(i) && !(nums[i] > c) }
+	case ">":
+		return func(i int32) bool { return notNull(i) && nums[i] > c }
+	case ">=":
+		return func(i int32) bool { return notNull(i) && !(nums[i] < c) }
+	}
+	return func(int32) bool { return false }
+}
+
+func bindNumNumCmp(op string, v, w *vec) lanePred {
+	a, b := v.nums, w.nums
+	if v.null == nil && w.null == nil {
+		switch op {
+		case "=":
+			return func(i int32) bool { return !(a[i] < b[i]) && !(a[i] > b[i]) }
+		case "!=":
+			return func(i int32) bool { return a[i] < b[i] || a[i] > b[i] }
+		case "<":
+			return func(i int32) bool { return a[i] < b[i] }
+		case "<=":
+			return func(i int32) bool { return !(a[i] > b[i]) }
+		case ">":
+			return func(i int32) bool { return a[i] > b[i] }
+		case ">=":
+			return func(i int32) bool { return !(a[i] < b[i]) }
+		}
+		return func(int32) bool { return false }
+	}
+	bothSet := func(i int32) bool { return !v.isNull(i) && !w.isNull(i) }
+	switch op {
+	case "=":
+		return func(i int32) bool { return bothSet(i) && !(a[i] < b[i]) && !(a[i] > b[i]) }
+	case "!=":
+		return func(i int32) bool { return bothSet(i) && (a[i] < b[i] || a[i] > b[i]) }
+	case "<":
+		return func(i int32) bool { return bothSet(i) && a[i] < b[i] }
+	case "<=":
+		return func(i int32) bool { return bothSet(i) && !(a[i] > b[i]) }
+	case ">":
+		return func(i int32) bool { return bothSet(i) && a[i] > b[i] }
+	case ">=":
+		return func(i int32) bool { return bothSet(i) && !(a[i] < b[i]) }
+	}
+	return func(int32) bool { return false }
+}
+
+func bindStrConstCmp(op string, v *vec, c string) lanePred {
+	cl := strings.ToLower(c)
+	strs := v.strs
+	cmpOK := func(r int) bool {
+		switch op {
+		case "=":
+			return r == 0
+		case "!=":
+			return r != 0
+		case "<":
+			return r < 0
+		case "<=":
+			return r <= 0
+		case ">":
+			return r > 0
+		case ">=":
+			return r >= 0
+		}
+		return false
+	}
+	return func(i int32) bool {
+		if v.isNull(i) {
+			return false
+		}
+		return cmpOK(strings.Compare(lowerCheap(strs[i]), cl))
+	}
+}
+
+// kpBetween replicates `!x.IsNull() && x.Compare(lo) >= 0 && x.Compare(hi)
+// <= 0`, then applies negation — note a NULL subject yields the negation
+// flag itself (NOT BETWEEN over NULL is true in this dialect), and
+// Value.Compare is used directly: BETWEEN does no numeric-string coercion.
+type kpBetween struct {
+	x, lo, hi kval
+	neg       bool
+}
+
+func (k kpBetween) bindPred(b *colBatch) lanePred {
+	neg := k.neg
+	if xc, ok := k.x.(kvCol); ok {
+		v := b.cols[xc.col]
+		loc, lok := k.lo.(kvConst)
+		hic, hok := k.hi.(kvConst)
+		if v.kind == vecNum && lok && hok && loc.v.Kind == schema.KindNum && hic.v.Kind == schema.KindNum {
+			lo, hi := loc.v.Num, hic.v.Num
+			nums := v.nums
+			return func(i int32) bool {
+				// Compare >= 0 means "not less than": NaN compares 0 to
+				// everything, so NaN is inside every range.
+				in := !v.isNull(i) && !(nums[i] < lo) && !(nums[i] > hi)
+				return in != neg
+			}
+		}
+	}
+	xf, lof, hif := k.x.bindVal(b), k.lo.bindVal(b), k.hi.bindVal(b)
+	return func(i int32) bool {
+		x := xf(i)
+		in := !x.IsNull() && x.Compare(lof(i)) >= 0 && x.Compare(hif(i)) <= 0
+		return in != neg
+	}
+}
+
+// kpLike matches LIKE with the shared two-pointer matcher. The subject is
+// Value.String(), so NULL matches as the string "null" — kernels preserve
+// that quirk rather than null-skipping.
+type kpLike struct {
+	x, pat kval
+	neg    bool
+}
+
+func (k kpLike) bindPred(b *colBatch) lanePred {
+	neg := k.neg
+	if pc, ok := k.pat.(kvConst); ok {
+		pl := strings.ToLower(pc.v.String())
+		if xc, ok := k.x.(kvCol); ok {
+			v := b.cols[xc.col]
+			if v.kind == vecStr {
+				strs := v.strs
+				return func(i int32) bool {
+					s := "null"
+					if !v.isNull(i) {
+						s = lowerCheap(strs[i])
+					}
+					return likeLower(s, pl) != neg
+				}
+			}
+		}
+		xf := k.x.bindVal(b)
+		return func(i int32) bool {
+			return likeLower(strings.ToLower(xf(i).String()), pl) != neg
+		}
+	}
+	xf, pf := k.x.bindVal(b), k.pat.bindVal(b)
+	return func(i int32) bool {
+		return likeMatch(xf(i).String(), pf(i).String()) != neg
+	}
+}
+
+// kpIsNull tests the null bitmap directly when the subject is a column.
+type kpIsNull struct {
+	x   kval
+	neg bool
+}
+
+func (k kpIsNull) bindPred(b *colBatch) lanePred {
+	neg := k.neg
+	if xc, ok := k.x.(kvCol); ok {
+		v := b.cols[xc.col]
+		return func(i int32) bool { return v.isNull(i) != neg }
+	}
+	xf := k.x.bindVal(b)
+	return func(i int32) bool { return xf(i).IsNull() != neg }
+}
+
+// kpIn is value-list membership under Equal semantics: no numeric-string
+// coercion, case-insensitive strings, and a NaN probe equal to every number.
+// List literals are never NULL and never NaN (the parser produces finite
+// constants), which the typed fast paths rely on.
+type kpIn struct {
+	x       kval
+	members []kval
+	neg     bool
+}
+
+func (k kpIn) bindPred(b *colBatch) lanePred {
+	neg := k.neg
+	allConst := true
+	for _, m := range k.members {
+		if _, ok := m.(kvConst); !ok {
+			allConst = false
+			break
+		}
+	}
+	if allConst {
+		var numMembers []float64
+		var strMembers []string // lowered
+		boxed := make([]schema.Value, 0, len(k.members))
+		for _, m := range k.members {
+			mv := m.(kvConst).v
+			boxed = append(boxed, mv)
+			switch mv.Kind {
+			case schema.KindNum:
+				numMembers = append(numMembers, mv.Num)
+			case schema.KindStr:
+				strMembers = append(strMembers, strings.ToLower(mv.Str))
+			}
+		}
+		if xc, ok := k.x.(kvCol); ok {
+			v := b.cols[xc.col]
+			switch v.kind {
+			case vecNum:
+				nums := v.nums
+				return func(i int32) bool {
+					if v.isNull(i) {
+						return neg
+					}
+					x := nums[i]
+					found := false
+					if math.IsNaN(x) {
+						found = len(numMembers) > 0 // NaN Equals every number
+					} else {
+						for _, m := range numMembers {
+							if x == m { // Go == folds -0 and +0, like Equal
+								found = true
+								break
+							}
+						}
+					}
+					return found != neg
+				}
+			case vecStr:
+				strs := v.strs
+				return func(i int32) bool {
+					if v.isNull(i) {
+						return neg
+					}
+					x := lowerCheap(strs[i])
+					found := false
+					for _, m := range strMembers {
+						if x == m {
+							found = true
+							break
+						}
+					}
+					return found != neg
+				}
+			}
+		}
+		xf := k.x.bindVal(b)
+		return func(i int32) bool {
+			x := xf(i)
+			found := false
+			for _, m := range boxed {
+				if x.Equal(m) {
+					found = true
+					break
+				}
+			}
+			return found != neg
+		}
+	}
+	xf := k.x.bindVal(b)
+	mfs := make([]laneVal, len(k.members))
+	for i, m := range k.members {
+		mfs[i] = m.bindVal(b)
+	}
+	return func(i int32) bool {
+		x := xf(i)
+		found := false
+		for _, mf := range mfs {
+			if x.Equal(mf(i)) {
+				found = true
+				break
+			}
+		}
+		return found != neg
+	}
+}

@@ -335,6 +335,7 @@ type selectPlan struct {
 	planErr error // deferred lowering error (nested scopes only)
 
 	input physNode
+	col   *colPlan // columnar pipeline; nil under PlanOptions.RowEngine
 
 	star          bool // sole `SELECT *` over an ungrouped relation
 	cols          []string
@@ -386,13 +387,24 @@ func (p *selectPlan) exec(ctx *execCtx) (*Result, error) {
 }
 
 // selectOne runs the scan→join→filter input, then grouping, projection,
-// ordering, DISTINCT and LIMIT — in exactly the old evaluation order.
+// ordering, DISTINCT and LIMIT — in exactly the old evaluation order. The
+// columnar pipeline is the default; it shares this plan's projection
+// closures (through batch row materialization) wherever an expression was
+// not provably vectorizable.
 func (p *selectPlan) selectOne(ctx *execCtx) (*Result, error) {
+	if p.col != nil {
+		return p.col.selectOne(ctx, p)
+	}
 	rows, err := p.input.exec(ctx)
 	if err != nil {
 		return nil, err
 	}
+	return p.rowsSelect(ctx, rows)
+}
 
+// rowsSelect is the row-at-a-time grouping + projection stage, shared by the
+// row engine and the columnar pipeline's fallback path.
+func (p *selectPlan) rowsSelect(ctx *execCtx, rows [][]schema.Value) (*Result, error) {
 	var groups [][][]schema.Value
 	if p.explicitGroup {
 		idx := make([]int, len(p.groupKeys))
@@ -435,69 +447,73 @@ func (p *selectPlan) selectOne(ctx *execCtx) (*Result, error) {
 		groups = [][][]schema.Value{rows}
 	}
 
-	out := &Result{Cols: p.cols}
-
-	type orderedRow struct {
-		cells []schema.Value
-		keys  []schema.Value
-	}
-	var orows []orderedRow
+	var cells, keys [][]schema.Value
 
 	switch {
 	case p.star:
 		for _, row := range rows {
-			var keys []schema.Value
+			var ks []schema.Value
 			for _, o := range p.rowOrder {
 				v, err := o.key(ctx, row)
 				if err != nil {
 					return nil, err
 				}
-				keys = append(keys, v)
+				ks = append(ks, v)
 			}
-			orows = append(orows, orderedRow{cells: row, keys: keys})
+			cells = append(cells, row)
+			keys = append(keys, ks)
 		}
 	case groups != nil:
 		for _, g := range groups {
-			var cells []schema.Value
+			var cs []schema.Value
 			for _, fn := range p.groupItems {
 				v, err := fn(ctx, g)
 				if err != nil {
 					return nil, err
 				}
-				cells = append(cells, v)
+				cs = append(cs, v)
 			}
-			var keys []schema.Value
+			var ks []schema.Value
 			for _, o := range p.groupOrder {
 				v, err := o.key(ctx, g)
 				if err != nil {
 					return nil, err
 				}
-				keys = append(keys, v)
+				ks = append(ks, v)
 			}
-			orows = append(orows, orderedRow{cells: cells, keys: keys})
+			cells = append(cells, cs)
+			keys = append(keys, ks)
 		}
 	default:
 		for _, row := range rows {
-			var cells []schema.Value
+			var cs []schema.Value
 			for _, fn := range p.rowItems {
 				v, err := fn(ctx, row)
 				if err != nil {
 					return nil, err
 				}
-				cells = append(cells, v)
+				cs = append(cs, v)
 			}
-			var keys []schema.Value
+			var ks []schema.Value
 			for _, o := range p.rowOrder {
 				v, err := o.key(ctx, row)
 				if err != nil {
 					return nil, err
 				}
-				keys = append(keys, v)
+				ks = append(ks, v)
 			}
-			orows = append(orows, orderedRow{cells: cells, keys: keys})
+			cells = append(cells, cs)
+			keys = append(keys, ks)
 		}
 	}
+	return p.finish(cells, keys)
+}
 
+// finish is the ordering + DISTINCT + LIMIT tail shared by the row and
+// columnar projection stages: cells are the projected rows, keys the
+// parallel ORDER BY key rows (ignored unless the plan orders).
+func (p *selectPlan) finish(cells, keys [][]schema.Value) (*Result, error) {
+	out := &Result{Cols: p.cols}
 	desc := make([]bool, 0, len(p.rowOrder)+len(p.groupOrder))
 	for _, o := range p.rowOrder {
 		desc = append(desc, o.desc)
@@ -506,9 +522,14 @@ func (p *selectPlan) selectOne(ctx *execCtx) (*Result, error) {
 		desc = append(desc, o.desc)
 	}
 	if len(desc) > 0 {
-		sort.SliceStable(orows, func(i, j int) bool {
+		idx := make([]int, len(cells))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(a, b int) bool {
+			ka, kb := keys[idx[a]], keys[idx[b]]
 			for k, d := range desc {
-				c := orows[i].keys[k].Compare(orows[j].keys[k])
+				c := ka[k].Compare(kb[k])
 				if d {
 					c = -c
 				}
@@ -518,11 +539,14 @@ func (p *selectPlan) selectOne(ctx *execCtx) (*Result, error) {
 			}
 			return false
 		})
+		sorted := make([][]schema.Value, len(cells))
+		for i, j := range idx {
+			sorted[i] = cells[j]
+		}
+		cells = sorted
 		out.Ordered = true
 	}
-	for _, r := range orows {
-		out.Rows = append(out.Rows, r.cells)
-	}
+	out.Rows = cells
 	if p.distinct {
 		seen := map[string]bool{}
 		dedup := out.Rows[:0:0]

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/schema"
 	"repro/internal/sqlir"
@@ -39,6 +40,23 @@ type PlanOptions struct {
 	NoHashSets bool
 	// NoFold disables constant folding.
 	NoFold bool
+	// RowEngine forces row-at-a-time execution, skipping the columnar
+	// batch pipeline entirely — the differential harness's escape hatch,
+	// mirroring ForceNestedLoop for join strategies.
+	RowEngine bool
+}
+
+// defaultRowEngine, when set, makes every plan compiled without an explicit
+// RowEngine request use the row engine — the -row-engine process switch.
+var defaultRowEngine atomic.Bool
+
+// SetDefaultRowEngine selects the engine used by call sites that don't pass
+// PlanOptions (the shared plan cache included). Call it at process startup:
+// it drops the shared cache so no plan compiled under the other engine
+// survives the switch.
+func SetDefaultRowEngine(on bool) {
+	defaultRowEngine.Store(on)
+	Shared.Reset()
 }
 
 // Unoptimized returns options that disable every optimizer rule — the
@@ -220,13 +238,24 @@ func (pc *planCtx) compile(ls *logSel, opt *optSel, depth int) (*selectPlan, err
 	sel := ls.sel
 
 	// Physical FROM chain: scans, joins with projection pruning, residual
-	// filter.
+	// filter. The columnar chain is built in lockstep from the same pruning
+	// and key decisions, so both engines execute the identical logical plan.
+	columnar := !pc.opts.RowEngine && !defaultRowEngine.Load()
 	var node physNode
 	base := &scanNode{table: ls.scans[0].tableName}
 	node = base
 	scanNodes := []*scanNode{base}
 	for i := 1; i < len(ls.scans); i++ {
 		scanNodes = append(scanNodes, &scanNode{table: ls.scans[i].tableName})
+	}
+	var cScans []*colScanNode
+	var cNode colNode
+	if columnar {
+		cScans = make([]*colScanNode, len(ls.scans))
+		for i, sc := range ls.scans {
+			cScans[i] = &colScanNode{table: sc.tableName}
+		}
+		cNode = cScans[0]
 	}
 	for j, lj := range ls.joins {
 		sc := ls.scans[j+1]
@@ -265,32 +294,71 @@ func (pc *planCtx) compile(ls *logSel, opt *optSel, depth int) (*selectPlan, err
 			jn.degenerate = true
 		}
 		node = jn
+		if columnar {
+			cj := &colJoinNode{
+				left: cNode, right: cScans[j+1],
+				hash: jn.hash, degenerate: jn.degenerate,
+				keepL: jn.keepL, keepR: jn.keepR,
+			}
+			if lj.normalized {
+				cj.lKeyIdx = jn.lKey.idx
+				cj.rKeyIdx = jn.rKey.idx
+			} else {
+				cj.lKey, cj.rKey = jn.lKey, jn.rKey
+			}
+			cNode = cj
+		}
 	}
 
 	// Expression compiler against the final materialized layout.
 	comp := &compiler{pc: pc, bindings: ls.bindings, colMap: opt.finalMap, depth: depth}
 
-	// Pushed predicates compile against raw scan rows.
+	// Pushed predicates compile against raw scan rows; pushdown only admits
+	// error-free conjuncts, so each also gets a vector kernel when its shape
+	// allows (else the row closure runs lane at a time).
 	for ci, ex := range opt.conjuncts {
 		target := opt.pushTo[ci]
 		if target < 0 {
 			continue
 		}
 		sc := ls.scans[target]
-		scanComp := &compiler{pc: pc, bindings: ls.bindings, colMap: scanLocalMap(ls.bindings, sc), depth: depth}
+		localMap := scanLocalMap(ls.bindings, sc)
+		scanComp := &compiler{pc: pc, bindings: ls.bindings, colMap: localMap, depth: depth}
 		fn, _ := scanComp.boolFn(ex)
 		scanNodes[target].preds = append(scanNodes[target].preds, fn)
+		if columnar {
+			scc := &colComp{bindings: ls.bindings, colMap: localMap}
+			cScans[target].preds = append(cScans[target].preds, colPredPlan{k: scc.pred(ex), r: fn})
+		}
 	}
 	var residual []rowBool
+	var residualExs []sqlir.Expr
 	for ci, ex := range opt.conjuncts {
 		if opt.pushTo[ci] >= 0 {
 			continue
 		}
 		fn, _ := comp.boolFn(ex)
 		residual = append(residual, fn)
+		residualExs = append(residualExs, ex)
 	}
 	if len(residual) > 0 {
 		node = &filterNode{child: node, preds: residual}
+		if columnar {
+			// Vectorize only the prefix before the first error-capable
+			// conjunct; from there on one fused row-major loop preserves the
+			// row engine's first-error exactly (two error-capable conjuncts
+			// evaluated column at a time could error in the wrong order).
+			split := 0
+			for split < len(residualExs) && errorFreeBool(residualExs[split], ls.bindings) {
+				split++
+			}
+			cf := &colFilterNode{child: cNode, fused: residual[split:]}
+			fcc := &colComp{bindings: ls.bindings, colMap: opt.finalMap}
+			for i := 0; i < split; i++ {
+				cf.vecs = append(cf.vecs, colPredPlan{k: fcc.pred(residualExs[i]), r: residual[i]})
+			}
+			cNode = cf
+		}
 	}
 
 	p := &selectPlan{input: node}
@@ -356,6 +424,17 @@ func (pc *planCtx) compile(ls *logSel, opt *optSel, depth int) (*selectPlan, err
 	p.distinct = sel.Distinct
 	p.hasLimit = sel.HasLimit
 	p.limit = sel.Limit
+
+	if columnar {
+		cp := &colPlan{input: cNode}
+		fcc := &colComp{bindings: ls.bindings, colMap: opt.finalMap}
+		if grouped {
+			cp.grp = buildColGroup(sel, p, fcc)
+		} else {
+			cp.proj = buildColProj(sel, p.star, len(ls.bindings), fcc)
+		}
+		p.col = cp
+	}
 
 	if sel.Compound != nil {
 		p.compound = &compoundPlan{

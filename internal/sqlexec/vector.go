@@ -1,0 +1,302 @@
+package sqlexec
+
+import (
+	"strings"
+	"sync"
+	"unicode/utf8"
+
+	"repro/internal/schema"
+)
+
+// This file is the columnar storage layer of the vectorized engine: typed
+// column vectors with NULL bitmaps, batches carrying a selection vector, and
+// a process-wide cache of transposed table images.
+//
+// A vec stores one column of a relation. Columns whose cells are all
+// numbers-or-NULL use a packed []float64 with a null bitmap; all
+// strings-or-NULL use []string likewise; anything mixed falls back to boxed
+// values. Kernels (kernels.go) specialize on the packed representations and
+// fall back to per-lane boxed access otherwise, so a vec's representation is
+// a performance property, never a semantic one.
+
+type vecKind uint8
+
+const (
+	vecNum vecKind = iota // nums + null bitmap
+	vecStr                // strs + null bitmap
+	vecAny                // boxed vals (mixed kinds)
+)
+
+type vec struct {
+	n    int
+	kind vecKind
+	nums []float64
+	strs []string
+	null []uint64       // bitmap over lanes; nil when the column has no NULLs
+	vals []schema.Value // vecAny backing
+}
+
+func (v *vec) isNull(i int32) bool {
+	if v.kind == vecAny {
+		return v.vals[i].Kind == schema.KindNull
+	}
+	return v.null != nil && v.null[uint(i)>>6]&(1<<(uint(i)&63)) != 0
+}
+
+func (v *vec) setNull(i int32) {
+	if v.null == nil {
+		v.null = make([]uint64, (v.n+63)/64)
+	}
+	v.null[uint(i)>>6] |= 1 << (uint(i) & 63)
+}
+
+// value reconstructs the boxed cell. The returned Value is a copy; callers
+// may retain it freely.
+func (v *vec) value(i int32) schema.Value {
+	switch v.kind {
+	case vecNum:
+		if v.isNull(i) {
+			return schema.Null()
+		}
+		return schema.N(v.nums[i])
+	case vecStr:
+		if v.isNull(i) {
+			return schema.Null()
+		}
+		return schema.S(v.strs[i])
+	default:
+		return v.vals[i]
+	}
+}
+
+// buildVec transposes one column out of row-major storage, picking the
+// tightest representation the data admits.
+func buildVec(rows [][]schema.Value, col int) *vec {
+	n := len(rows)
+	hasNum, hasStr := false, false
+	for _, r := range rows {
+		switch r[col].Kind {
+		case schema.KindNum:
+			hasNum = true
+		case schema.KindStr:
+			hasStr = true
+		}
+		if hasNum && hasStr {
+			break
+		}
+	}
+	v := &vec{n: n}
+	switch {
+	case hasNum && hasStr:
+		v.kind = vecAny
+		v.vals = make([]schema.Value, n)
+		for i, r := range rows {
+			v.vals[i] = r[col]
+		}
+	case hasStr:
+		v.kind = vecStr
+		v.strs = make([]string, n)
+		for i, r := range rows {
+			if r[col].Kind == schema.KindNull {
+				v.setNull(int32(i))
+				continue
+			}
+			v.strs[i] = r[col].Str
+		}
+	default:
+		// All numbers, all NULL, or empty: the numeric layout covers each.
+		v.kind = vecNum
+		v.nums = make([]float64, n)
+		for i, r := range rows {
+			if r[col].Kind == schema.KindNull {
+				v.setNull(int32(i))
+				continue
+			}
+			v.nums[i] = r[col].Num
+		}
+	}
+	return v
+}
+
+// gatherVec compacts the lanes named by idx into a fresh dense vec.
+func gatherVec(v *vec, idx []int32) *vec {
+	out := &vec{n: len(idx), kind: v.kind}
+	switch v.kind {
+	case vecNum:
+		out.nums = make([]float64, len(idx))
+		for o, i := range idx {
+			if v.isNull(i) {
+				out.setNull(int32(o))
+				continue
+			}
+			out.nums[o] = v.nums[i]
+		}
+	case vecStr:
+		out.strs = make([]string, len(idx))
+		for o, i := range idx {
+			if v.isNull(i) {
+				out.setNull(int32(o))
+				continue
+			}
+			out.strs[o] = v.strs[i]
+		}
+	default:
+		out.vals = make([]schema.Value, len(idx))
+		for o, i := range idx {
+			out.vals[o] = v.vals[i]
+		}
+	}
+	return out
+}
+
+// colTable is the transposed image of one table's rows.
+type colTable struct {
+	nrows int
+	cols  []*vec
+}
+
+// The column cache keys transposed images by table identity. Schemas are
+// immutable once handed to the execution engine (see schema.Database), so an
+// image stays valid for the table's lifetime; the row-count guard catches
+// the one mutation pattern tests use (appending rows before first
+// execution). The cache is dropped wholesale when it outgrows its bound —
+// entries are cheap to rebuild and the bound only exists to keep abandoned
+// tables from pinning memory.
+var (
+	colCacheMu sync.RWMutex
+	colCache   = map[*schema.Table]*colTable{}
+)
+
+const colCacheLimit = 4096
+
+func columnsOf(t *schema.Table) *colTable {
+	colCacheMu.RLock()
+	ct := colCache[t]
+	colCacheMu.RUnlock()
+	if ct != nil && ct.nrows == len(t.Rows) {
+		return ct
+	}
+	ct = &colTable{nrows: len(t.Rows), cols: make([]*vec, len(t.Columns))}
+	for c := range t.Columns {
+		ct.cols[c] = buildVec(t.Rows, c)
+	}
+	colCacheMu.Lock()
+	if len(colCache) >= colCacheLimit {
+		colCache = make(map[*schema.Table]*colTable, colCacheLimit/4)
+	}
+	colCache[t] = ct
+	colCacheMu.Unlock()
+	return ct
+}
+
+// colBatch is a batch of lanes over a set of columns. A nil selection vector
+// means every lane 0..n-1 is live, in order; otherwise sel lists the live
+// lanes in order. Kernels refine sel without touching column storage.
+type colBatch struct {
+	cols []*vec
+	sel  []int32
+	n    int // source lane count (cols[i].n)
+}
+
+func (b *colBatch) len() int {
+	if b.sel != nil {
+		return len(b.sel)
+	}
+	return b.n
+}
+
+func (b *colBatch) lane(i int) int32 {
+	if b.sel != nil {
+		return b.sel[i]
+	}
+	return int32(i)
+}
+
+// readRow boxes one lane into dst (len(b.cols) cells).
+func (b *colBatch) readRow(lane int32, dst []schema.Value) {
+	for c, v := range b.cols {
+		dst[c] = v.value(lane)
+	}
+}
+
+// rows materializes the live lanes as fresh row-major rows backed by a
+// single allocation.
+func (b *colBatch) rows() [][]schema.Value {
+	k := b.len()
+	w := len(b.cols)
+	if k == 0 {
+		return nil
+	}
+	backing := make([]schema.Value, k*w)
+	rows := make([][]schema.Value, k)
+	for i := 0; i < k; i++ {
+		row := backing[i*w : (i+1)*w : (i+1)*w]
+		b.readRow(b.lane(i), row)
+		rows[i] = row
+	}
+	return rows
+}
+
+// boxInto writes this column's live lanes into dst at positions
+// i*stride+off — the column-major materialization step of the vectorized
+// projection. The null-free packed representations box in a tight loop
+// without per-lane dispatch.
+func (v *vec) boxInto(b *colBatch, dst []schema.Value, stride, off int) {
+	k := b.len()
+	switch {
+	case v.kind == vecNum && v.null == nil:
+		nums := v.nums
+		if b.sel == nil {
+			for i := 0; i < k; i++ {
+				dst[i*stride+off] = schema.Value{Kind: schema.KindNum, Num: nums[i]}
+			}
+		} else {
+			for i, lane := range b.sel {
+				dst[i*stride+off] = schema.Value{Kind: schema.KindNum, Num: nums[lane]}
+			}
+		}
+	case v.kind == vecStr && v.null == nil:
+		strs := v.strs
+		if b.sel == nil {
+			for i := 0; i < k; i++ {
+				dst[i*stride+off] = schema.Value{Kind: schema.KindStr, Str: strs[i]}
+			}
+		} else {
+			for i, lane := range b.sel {
+				dst[i*stride+off] = schema.Value{Kind: schema.KindStr, Str: strs[lane]}
+			}
+		}
+	case v.kind == vecAny:
+		vals := v.vals
+		if b.sel == nil {
+			if stride == 1 {
+				copy(dst, vals[:k])
+			} else {
+				for i := 0; i < k; i++ {
+					dst[i*stride+off] = vals[i]
+				}
+			}
+		} else {
+			for i, lane := range b.sel {
+				dst[i*stride+off] = vals[lane]
+			}
+		}
+	default:
+		for i := 0; i < k; i++ {
+			dst[i*stride+off] = v.value(b.lane(i))
+		}
+	}
+}
+
+// lowerCheap returns strings.ToLower(s) without allocating when s has no
+// upper-case ASCII and no multi-byte runes — the common case for both table
+// data and query literals in this corpus.
+func lowerCheap(s string) string {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c >= 'A' && c <= 'Z') || c >= utf8.RuneSelf {
+			return strings.ToLower(s)
+		}
+	}
+	return s
+}
