@@ -21,6 +21,7 @@ import (
 	"repro/internal/service"
 	"repro/internal/spider"
 	"repro/internal/sqlexec"
+	"repro/internal/store"
 )
 
 // shutdownSignals is the set main traps for graceful drain. Both SIGINT
@@ -44,8 +45,16 @@ type appConfig struct {
 	TenantIdleTTL  time.Duration
 	TenantCacheCap int
 	BootstrapSeeds string
-	Pprof          bool
-	RowEngine      bool
+	// DataDir, when set, makes tenant state durable: catalog mutations go
+	// to a WAL and tenant snapshots persist under this directory, so a
+	// restart recovers every registered tenant without re-training.
+	DataDir string
+	// WALSync is the WAL durability mode: always, interval, or never.
+	WALSync string
+	// TenantMemBudget bounds resident store-backed tenant bytes (0 = off).
+	TenantMemBudget int64
+	Pprof           bool
+	RowEngine       bool
 }
 
 // app is the assembled server: the HTTP listener plus the subsystems whose
@@ -55,6 +64,7 @@ type app struct {
 	cfg     appConfig
 	svc     *service.Server
 	cat     *catalog.Catalog
+	st      *store.Store
 	reg     *metrics.Registry
 	srv     *http.Server
 	ln      net.Listener
@@ -89,6 +99,7 @@ func newApp(cfg appConfig) (*app, error) {
 		}))
 	}
 	var cat *catalog.Catalog
+	var st *store.Store
 	if cfg.MaxTenants > 0 {
 		// The warming fallback trains on the union of several seed corpora:
 		// broader skeleton and vocabulary coverage than any single seed, so
@@ -98,14 +109,32 @@ func newApp(cfg appConfig) (*app, error) {
 		if err != nil {
 			return nil, err
 		}
+		if cfg.DataDir != "" {
+			mode, err := store.ParseSyncMode(cfg.WALSync)
+			if err != nil {
+				return nil, err
+			}
+			st, err = store.Open(cfg.DataDir, store.Options{Sync: mode})
+			if err != nil {
+				return nil, err
+			}
+			ss := st.Stats()
+			log.Printf("tenant store %s: recovered %d tenants from %d WAL records in %.1fms (%d snapshot files, %d bytes)",
+				cfg.DataDir, ss.Recovered, ss.WALReplayed, ss.RecoveryMs, ss.Snapshots, ss.SnapshotB)
+		}
 		cat, err = catalog.New(catalog.Config{
-			Client:     base, // tenants wrap the raw backend in their own caches
-			Fallback:   catalog.NewFallback(boot),
-			MaxTenants: cfg.MaxTenants,
-			IdleTTL:    cfg.TenantIdleTTL,
-			CacheCap:   cfg.TenantCacheCap,
+			Client:       base, // tenants wrap the raw backend in their own caches
+			Fallback:     catalog.NewFallback(boot),
+			MaxTenants:   cfg.MaxTenants,
+			IdleTTL:      cfg.TenantIdleTTL,
+			CacheCap:     cfg.TenantCacheCap,
+			Store:        st,
+			MemoryBudget: cfg.TenantMemBudget,
 		})
 		if err != nil {
+			if st != nil {
+				st.Close()
+			}
 			return nil, err
 		}
 		opts = append(opts, service.WithCatalog(cat))
@@ -130,6 +159,7 @@ func newApp(cfg appConfig) (*app, error) {
 		cfg: cfg,
 		svc: svc,
 		cat: cat,
+		st:  st,
 		reg: reg,
 		ln:  ln,
 		srv: &http.Server{
@@ -198,6 +228,13 @@ func (a *app) run(ctx context.Context) error {
 		defer cancelCat()
 		if err := a.cat.Close(catCtx); err != nil {
 			log.Printf("catalog drain cut short: %v", err)
+		}
+	}
+	// The store closes last: the catalog appends to the WAL until its build
+	// manager drains.
+	if a.st != nil {
+		if err := a.st.Close(); err != nil {
+			log.Printf("store close: %v", err)
 		}
 	}
 	return drainErr

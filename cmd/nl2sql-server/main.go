@@ -51,6 +51,9 @@ func main() {
 	flag.DurationVar(&cfg.TenantIdleTTL, "tenant-idle-ttl", 0, "evict tenants unused for this long (0 disables idle eviction)")
 	flag.IntVar(&cfg.TenantCacheCap, "tenant-cache", 1024, "per-tenant LLM cache capacity in entries (<0 disables)")
 	flag.StringVar(&cfg.BootstrapSeeds, "bootstrap-seeds", "1,2", "comma-separated corpus seeds whose training splits train the catalog's shared warming models")
+	flag.StringVar(&cfg.DataDir, "data-dir", "", "directory for durable tenant state (WAL + snapshots); empty keeps the catalog memory-only")
+	flag.StringVar(&cfg.WALSync, "wal-sync", "always", "WAL durability: always (fsync per append), interval (batched), never (OS-buffered)")
+	flag.Int64Var(&cfg.TenantMemBudget, "tenant-mem-budget", 0, "resident-bytes budget for store-backed tenants (snapshot-size proxy); past it idle ready tenants unload to stubs (0 = unlimited)")
 	flag.BoolVar(&cfg.Pprof, "pprof", false, "mount net/http/pprof debug endpoints under /debug/pprof/")
 	flag.BoolVar(&cfg.RowEngine, "row-engine", false, "execute SQL row-at-a-time instead of through the vectorized columnar engine (escape hatch / A-B baseline)")
 	flag.Parse()

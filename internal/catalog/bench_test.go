@@ -66,6 +66,33 @@ func BenchmarkReregisterSwap(b *testing.B) {
 	}
 }
 
+// BenchmarkRegisterStorm measures registration under a small cap, where
+// every admission LRU-evicts: the worst case for the over-cap eviction
+// path. The single-pass victim selection keeps this O(tenants log tenants)
+// per register; the old per-victim rescan was O(victims × tenants) under
+// the writer lock.
+func BenchmarkRegisterStorm(b *testing.B) {
+	cfg := benchConfig()
+	cfg.MaxTenants = 64
+	cfg.BuildQueue = 1 << 20
+	cfg.BuildRunners = 8
+	c := benchCatalog(b, cfg)
+	demos := shopDemos()
+	// Pre-fill to the cap so each measured register evicts.
+	for i := 0; i < cfg.MaxTenants; i++ {
+		if _, err := c.Register(Registration{DB: shopDB(fmt.Sprintf("fill%d", i)), Demos: demos}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Register(Registration{DB: shopDB(fmt.Sprintf("storm%d", i)), Demos: demos}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkLookup measures the hot-path tenant resolution: two atomic
 // loads plus counter bumps, no locks.
 func BenchmarkLookup(b *testing.B) {

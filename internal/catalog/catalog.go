@@ -41,6 +41,7 @@ import (
 	"repro/internal/predictor"
 	"repro/internal/spider"
 	"repro/internal/sqlexec"
+	"repro/internal/store"
 )
 
 // Typed errors surfaced to the service layer.
@@ -99,6 +100,17 @@ type Config struct {
 	// its builds to instead of owning one. The caller keeps responsibility
 	// for its lifecycle.
 	Jobs *jobs.Manager
+	// Store, when non-nil, makes tenant state durable: every mutation is
+	// written to the store's WAL, registrations and completed builds persist
+	// fingerprint-addressed snapshots, and New replays the WAL into stored
+	// stubs that lazily load on first Lookup. The caller owns the store's
+	// lifecycle and must Close it only after the catalog has drained.
+	Store *store.Store
+	// MemoryBudget caps the resident bytes of store-backed tenants (proxied
+	// by persisted snapshot size): when loads push past it, the
+	// least-recently-used ready tenants are unloaded back to stored stubs.
+	// 0 means unlimited. Ignored without a Store.
+	MemoryBudget int64
 }
 
 func (c Config) withDefaults() Config {
@@ -133,6 +145,13 @@ type Tenant struct {
 	translations atomic.Int64
 	execs        atomic.Int64
 	translateNs  atomic.Int64
+
+	// loadMu single-flights the lazy load of a stored stub so a lookup
+	// stampede on a cold tenant reads the snapshot file once.
+	loadMu sync.Mutex
+	// storeBytes is the persisted snapshot size, the tenant's weight in the
+	// memory-budget accounting (0 without a store).
+	storeBytes atomic.Int64
 }
 
 // Snapshot returns the tenant's current immutable snapshot.
@@ -189,6 +208,15 @@ type Stats struct {
 	BuildsDone   int64 `json:"builds_done"`
 	BuildsStale  int64 `json:"builds_stale"`
 	BuildsFailed int64 `json:"builds_failed"`
+	// Unloads counts ready tenants flipped back to stored stubs by the
+	// memory-budget accountant or idle reclamation (store-backed catalogs
+	// only).
+	Unloads int64 `json:"unloads,omitempty"`
+	// StoreResidentBytes is the loaded (resident) portion of the persisted
+	// tenant state the memory budget governs.
+	StoreResidentBytes int64 `json:"store_resident_bytes,omitempty"`
+	// Store mirrors the snapshot store's own counters; nil without a store.
+	Store *store.Stats `json:"store,omitempty"`
 }
 
 type tenantMap map[string]*Tenant
@@ -203,6 +231,16 @@ type Catalog struct {
 	counters  Stats // only the lifetime counter fields are maintained here
 	builds    *jobs.Manager
 	ownsBuild bool
+
+	// fpRefs counts tenants holding each schema fingerprint. Deregistering
+	// or evicting a tenant invalidates the shared plan cache only when the
+	// last holder of the fingerprint leaves — content-addressed fingerprints
+	// mean same-schema tenants (loadgen clones, template tenants) share
+	// compiled plans, and one tenant's departure must not nuke them.
+	fpRefs map[uint64]int
+	// residentBytes sums storeBytes over tenants whose snapshot is loaded
+	// (state != stored); the memory budget bounds it.
+	residentBytes int64
 
 	// now is the clock, swappable by tests for idle-eviction determinism.
 	now func() time.Time
@@ -229,6 +267,7 @@ func New(cfg Config) (*Catalog, error) {
 	}
 	empty := tenantMap{}
 	c.tenants.Store(&empty)
+	c.fpRefs = map[uint64]int{}
 	if cfg.Jobs != nil {
 		c.builds = cfg.Jobs
 	} else {
@@ -242,6 +281,9 @@ func New(cfg Config) (*Catalog, error) {
 		})
 		c.ownsBuild = true
 	}
+	if cfg.Store != nil {
+		c.recoverFromStore()
+	}
 	if cfg.IdleTTL > 0 {
 		go c.janitor()
 	} else {
@@ -251,11 +293,18 @@ func New(cfg Config) (*Catalog, error) {
 }
 
 // Lookup resolves a tenant by name on the lock-free hot path: one atomic
-// map load, one hash lookup, and atomic counter bumps.
+// map load, one hash lookup, and atomic counter bumps. A stored stub (a
+// tenant recovered from the WAL or unloaded under memory pressure) takes
+// the slow path once: its persisted snapshot is lazily loaded and
+// published, so the first request after a restart is served from the
+// trained artifacts with no re-training.
 func (c *Catalog) Lookup(name string) (*Tenant, bool) {
 	m := c.tenants.Load()
 	t, ok := (*m)[strings.ToLower(name)]
 	if !ok {
+		return nil, false
+	}
+	if t.snap.Load().State == StateStored && !c.ensureLoaded(t) {
 		return nil, false
 	}
 	t.touch(c.now())
@@ -372,28 +421,47 @@ func (c *Catalog) register(reg Registration, replace bool) (*Snapshot, error) {
 	}
 	t.gen.Store(gen)
 
-	var retiredFP uint64
 	if old != nil {
 		oldSnap := old.Snapshot()
 		if oldSnap.Fingerprint != warming.Fingerprint {
-			retiredFP = oldSnap.Fingerprint
+			// The retired schema version's plans go from the shared cache —
+			// but only if this tenant was its last holder; same-schema
+			// tenants keep theirs.
+			c.acquireFPLocked(warming.Fingerprint)
+			c.releaseFPLocked(oldSnap.Fingerprint)
+		}
+		if oldSnap.State != StateStored {
+			c.residentBytes -= t.storeBytes.Load()
 		}
 		c.counters.Reregistered++
 	} else {
+		c.acquireFPLocked(warming.Fingerprint)
 		c.counters.Registered++
+	}
+	if c.cfg.Store != nil {
+		// Persist the registration (schema + demos, no models yet) before
+		// its WAL record: recovery only trusts records whose snapshot file
+		// landed. A crash between the two leaves an orphan file that Open
+		// garbage-collects.
+		op := store.OpRegister
+		if old != nil {
+			op = store.OpReregister
+		}
+		if size, err := c.cfg.Store.SaveSnapshot(key, c.storeSnapshot(warming, nil, nil)); err == nil {
+			t.storeBytes.Store(size)
+			c.residentBytes += size
+		}
+		rec := store.Record{Op: op, Key: key, Name: warming.Name, Version: version, Unix: warming.Registered.UnixNano()}
+		rec.SetFingerprint(warming.Fingerprint)
+		c.cfg.Store.Append(rec)
 	}
 	t.snap.Store(warming)
 	if old == nil {
 		c.swapTenants(func(m tenantMap) { m[key] = t })
 		c.evictOverCapLocked(t)
 	}
+	c.enforceBudgetLocked(t)
 	c.mu.Unlock()
-
-	if retiredFP != 0 {
-		// The shared plan cache serves the eval/adaption execution paths;
-		// plans compiled against the retired schema version must go.
-		sqlexec.Shared.InvalidateFingerprint(retiredFP)
-	}
 	return warming, nil
 }
 
@@ -422,8 +490,27 @@ func (c *Catalog) buildFn(t *Tenant, gen int64, warming *Snapshot, client llm.Cl
 			c.counters.BuildsStale++
 			return nil
 		}
+		if c.cfg.Store != nil {
+			// Re-persist the snapshot with the trained models and mark the
+			// version built in the WAL; a restart now republishes this
+			// tenant ready with zero re-training. A failed save keeps the
+			// registration-time file: recovery falls back to warming + a
+			// fresh build, never a half-trained tenant.
+			if size, err := c.cfg.Store.SaveSnapshot(t.key, c.storeSnapshot(&ready, clf, pred)); err == nil {
+				c.residentBytes += size - t.storeBytes.Load()
+				t.storeBytes.Store(size)
+				rec := store.Record{Op: store.OpBuilt, Key: t.key, Version: ready.Version, Unix: ready.Built.UnixNano()}
+				rec.SetFingerprint(ready.Fingerprint)
+				c.cfg.Store.Append(rec)
+			}
+		}
+		// Refresh recency without counting a lookup: a tenant that queued
+		// long enough for IdleTTL to lapse must not be idle-evicted the
+		// moment its training lands.
+		t.lastUsed.Store(c.now().UnixNano())
 		t.snap.Store(&ready)
 		c.counters.BuildsDone++
+		c.enforceBudgetLocked(t)
 		return nil
 	}
 }
@@ -438,22 +525,58 @@ func (c *Catalog) buildFailed(err error) error {
 	return err
 }
 
-// Deregister removes a tenant, invalidating its plans in the shared cache.
+// Deregister removes a tenant durably: its persisted snapshot is deleted,
+// the removal is WAL-logged, and its plans leave the shared cache when no
+// other tenant holds the same schema fingerprint.
 func (c *Catalog) Deregister(name string) error {
 	key := strings.ToLower(name)
 	c.mu.Lock()
+	defer c.mu.Unlock()
 	t, ok := (*c.tenants.Load())[key]
 	if !ok {
-		c.mu.Unlock()
 		return ErrNotFound
 	}
-	t.gen.Add(1) // retire any in-flight build
+	c.retireTenantLocked(t, store.OpDeregister)
 	c.swapTenants(func(m tenantMap) { delete(m, key) })
 	c.counters.Deregistered++
-	fp := t.Snapshot().Fingerprint
-	c.mu.Unlock()
-	sqlexec.Shared.InvalidateFingerprint(fp)
 	return nil
+}
+
+// acquireFPLocked / releaseFPLocked maintain the per-fingerprint holder
+// count. Release invalidates the shared plan cache only when the last
+// holder leaves. Callers hold c.mu.
+func (c *Catalog) acquireFPLocked(fp uint64) { c.fpRefs[fp]++ }
+
+func (c *Catalog) releaseFPLocked(fp uint64) {
+	if c.fpRefs[fp] > 1 {
+		c.fpRefs[fp]--
+		return
+	}
+	delete(c.fpRefs, fp)
+	sqlexec.Shared.InvalidateFingerprint(fp)
+}
+
+// retireTenantLocked performs the bookkeeping shared by every removal path
+// (deregister, cap eviction, idle eviction, corrupt-load drop): retire any
+// in-flight build via the generation bump, release the fingerprint, log
+// the removal and delete the persisted snapshot. The caller removes the
+// tenant from the map and bumps its own counter. Callers hold c.mu.
+func (c *Catalog) retireTenantLocked(t *Tenant, op store.Op) {
+	t.gen.Add(1)
+	s := t.snap.Load()
+	c.releaseFPLocked(s.Fingerprint)
+	if s.State != StateStored {
+		c.residentBytes -= t.storeBytes.Load()
+		if c.residentBytes < 0 {
+			c.residentBytes = 0
+		}
+	}
+	if c.cfg.Store != nil {
+		rec := store.Record{Op: op, Key: t.key, Name: s.Name, Version: s.Version, Unix: c.now().UnixNano()}
+		rec.SetFingerprint(s.Fingerprint)
+		c.cfg.Store.Append(rec)
+		c.cfg.Store.DeleteTenant(t.key)
+	}
 }
 
 // swapTenants publishes a mutated copy of the tenant map. Callers hold c.mu.
@@ -468,39 +591,50 @@ func (c *Catalog) swapTenants(mutate func(m tenantMap)) {
 }
 
 // evictOverCapLocked LRU-evicts tenants beyond MaxTenants, never evicting
-// keep (the tenant just registered). Callers hold c.mu.
+// keep (the tenant just registered). Single pass: victims are the
+// (len - cap) least-recently-used tenants, selected in one sort and
+// removed with one map swap — a register storm stays O(tenants log
+// tenants) under c.mu, not O(victims × tenants). Callers hold c.mu.
 func (c *Catalog) evictOverCapLocked(keep *Tenant) {
 	m := *c.tenants.Load()
-	for len(m) > c.cfg.MaxTenants {
-		var victim *Tenant
-		for _, t := range m {
-			if t == keep {
-				continue
-			}
-			if victim == nil || t.lastUsed.Load() < victim.lastUsed.Load() {
-				victim = t
-			}
-		}
-		if victim == nil {
-			return
-		}
-		c.evictLocked(victim)
-		m = *c.tenants.Load()
+	over := len(m) - c.cfg.MaxTenants
+	if over <= 0 {
+		return
 	}
+	candidates := make([]*Tenant, 0, len(m))
+	for _, t := range m {
+		if t != keep {
+			candidates = append(candidates, t)
+		}
+	}
+	sort.Slice(candidates, func(i, j int) bool {
+		return candidates[i].lastUsed.Load() < candidates[j].lastUsed.Load()
+	})
+	if over > len(candidates) {
+		over = len(candidates)
+	}
+	victims := candidates[:over]
+	for _, t := range victims {
+		c.retireTenantLocked(t, store.OpEvict)
+	}
+	c.swapTenants(func(m tenantMap) {
+		for _, t := range victims {
+			delete(m, t.key)
+		}
+	})
+	c.counters.Evicted += int64(len(victims))
 }
 
-// evictLocked removes one tenant. Callers hold c.mu. Plan invalidation of
-// the shared cache happens here too; the tenant's own caches die with it.
-func (c *Catalog) evictLocked(t *Tenant) {
-	t.gen.Add(1)
-	c.swapTenants(func(m tenantMap) { delete(m, t.key) })
-	c.counters.Evicted++
-	sqlexec.Shared.InvalidateFingerprint(t.Snapshot().Fingerprint)
-}
-
-// EvictIdle evicts every tenant idle since before now-IdleTTL and returns
-// how many went. The janitor calls it on a timer; tests may call it with a
-// synthetic clock.
+// EvictIdle reclaims every tenant idle since before now-IdleTTL and
+// returns how many went. Warming tenants are exempt — their lastUsed may
+// predate a long build-queue wait, and evicting them would silently
+// discard the in-flight training via the generation bump. Stored stubs are
+// exempt too (nothing resident to reclaim; evicting one would destroy
+// durable state for a tenant merely not yet asked for since restart).
+// Store-backed ready tenants are unloaded back to stubs instead of
+// destroyed: with durability, idleness is a memory condition, not a
+// lifecycle event. The janitor calls this on a timer; tests may call it
+// with a synthetic clock.
 func (c *Catalog) EvictIdle(now time.Time) int {
 	if c.cfg.IdleTTL <= 0 {
 		return 0
@@ -509,13 +643,34 @@ func (c *Catalog) EvictIdle(now time.Time) int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	n := 0
+	var victims []*Tenant
 	for _, t := range *c.tenants.Load() {
-		if t.lastUsed.Load() < cutoff {
-			c.evictLocked(t)
-			n++
+		if t.lastUsed.Load() >= cutoff {
+			continue
 		}
+		switch t.snap.Load().State {
+		case StateWarming, StateStored:
+			continue
+		}
+		if c.cfg.Store != nil && t.storeBytes.Load() > 0 {
+			c.unloadLocked(t)
+			n++
+			continue
+		}
+		victims = append(victims, t)
 	}
-	return n
+	for _, t := range victims {
+		c.retireTenantLocked(t, store.OpEvict)
+	}
+	if len(victims) > 0 {
+		c.swapTenants(func(m tenantMap) {
+			for _, t := range victims {
+				delete(m, t.key)
+			}
+		})
+		c.counters.Evicted += int64(len(victims))
+	}
+	return n + len(victims)
 }
 
 func (c *Catalog) janitor() {
@@ -541,8 +696,13 @@ func (c *Catalog) janitor() {
 func (c *Catalog) Stats() Stats {
 	c.mu.Lock()
 	out := c.counters
+	out.StoreResidentBytes = c.residentBytes
 	c.mu.Unlock()
 	out.MaxTenants = c.cfg.MaxTenants
+	if c.cfg.Store != nil {
+		st := c.cfg.Store.Stats()
+		out.Store = &st
+	}
 	out.Tenants = []TenantStats{} // empty registry serializes as [], not null
 	for _, t := range *c.tenants.Load() {
 		s := t.Snapshot()
@@ -550,12 +710,14 @@ func (c *Catalog) Stats() Stats {
 			Name:         s.Name,
 			State:        string(s.State),
 			Version:      s.Version,
-			Tables:       len(s.DB.Tables),
 			Demos:        len(s.Demos),
 			Lookups:      t.lookups.Load(),
 			Translations: t.translations.Load(),
 			Executions:   t.execs.Load(),
 			Registered:   s.Registered,
+		}
+		if s.DB != nil { // stored stubs carry no schema until loaded
+			ts.Tables = len(s.DB.Tables)
 		}
 		if lu := t.lastUsed.Load(); lu > 0 {
 			ts.LastUsed = time.Unix(0, lu)

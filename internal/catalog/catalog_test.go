@@ -283,6 +283,9 @@ func TestIdleEviction(t *testing.T) {
 	if _, err := c.Register(Registration{DB: shopDB("idle"), Demos: shopDemos()}); err != nil {
 		t.Fatal(err)
 	}
+	// Idle eviction only applies to ready tenants (warming ones are exempt
+	// so a slow build queue can't discard in-flight training).
+	waitReady(t, c, "idle")
 	if n := c.EvictIdle(time.Now()); n != 0 {
 		t.Fatalf("fresh tenant evicted: %d", n)
 	}

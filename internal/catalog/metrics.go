@@ -21,6 +21,23 @@ func (c *Catalog) Instrument(reg *metrics.Registry) {
 		s.Counter("catalog_builds_done_total", "Async tenant model builds published.", float64(st.BuildsDone))
 		s.Counter("catalog_builds_stale_total", "Builds discarded because a newer registration retired them.", float64(st.BuildsStale))
 		s.Counter("catalog_builds_failed_total", "Builds that errored (typically cancelled during drain).", float64(st.BuildsFailed))
+		if st.Store != nil {
+			ss := st.Store
+			s.Counter("catalog_unloads_total", "Ready tenants unloaded back to stored stubs by the memory budget or idle reclamation.", float64(st.Unloads))
+			s.Gauge("store_resident_bytes", "Loaded (resident) bytes of store-backed tenant state.", float64(st.StoreResidentBytes))
+			s.Counter("store_loads_total", "Tenant snapshots lazily loaded from the store.", float64(ss.Loads))
+			s.Counter("store_load_failures_total", "Snapshot loads that failed verification (tenant dropped durably).", float64(ss.LoadFailures))
+			s.Counter("store_saves_total", "Tenant snapshots persisted (registration + build completion).", float64(ss.Saves))
+			s.Counter("store_bytes_loaded_total", "Snapshot bytes read from the store.", float64(ss.BytesLoaded))
+			s.Counter("store_bytes_saved_total", "Snapshot bytes written to the store.", float64(ss.BytesSaved))
+			s.Counter("store_wal_appends_total", "Catalog mutations appended to the write-ahead log.", float64(ss.WALAppends))
+			s.Counter("store_wal_syncs_total", "WAL fsyncs issued.", float64(ss.WALSyncs))
+			s.Counter("store_compactions_total", "WAL compactions performed at startup.", float64(ss.Compactions))
+			s.Gauge("store_recovered_tenants", "Tenants replayed from the WAL at startup.", float64(ss.Recovered))
+			s.Gauge("store_recovery_ms", "Startup WAL replay + snapshot scan time in milliseconds.", ss.RecoveryMs)
+			s.Gauge("store_snapshot_files", "Snapshot files currently on disk.", float64(ss.Snapshots))
+			s.Gauge("store_snapshot_bytes", "Snapshot bytes currently on disk.", float64(ss.SnapshotB))
+		}
 		for _, t := range st.Tenants {
 			lbl := metrics.L("tenant", t.Name)
 			s.Counter("tenant_translations_total", "Translations served for the tenant.", float64(t.Translations), lbl)

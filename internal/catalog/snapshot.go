@@ -19,10 +19,15 @@ type State string
 // Snapshot states. A tenant serves from the moment it is registered:
 // Warming means its pipeline runs on the catalog's shared fallback models
 // while the per-tenant models train asynchronously; Ready means the trained
-// models have been published.
+// models have been published. Stored is a durability stub: the tenant's
+// state lives in the snapshot store (WAL-recovered at startup, or unloaded
+// by the memory-budget accountant) and only Name, Version, Fingerprint and
+// the lifecycle timestamps are populated — DB, Demos and Pipeline are nil
+// until the first Lookup lazily loads the persisted snapshot.
 const (
 	StateWarming State = "warming"
 	StateReady   State = "ready"
+	StateStored  State = "stored"
 )
 
 // Demo is one registered demonstration: a natural-language question with

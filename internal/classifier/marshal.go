@@ -1,0 +1,42 @@
+package classifier
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// modelWire is the exported mirror of Model used for serialization. The
+// trained state is two maps of float64 counts; gob preserves float bits
+// exactly, so a decoded model scores identically to the original (the
+// durable-tenant store depends on this for byte-identical translations
+// after a restart).
+type modelWire struct {
+	Assoc     map[string]map[string]float64
+	WordTotal map[string]float64
+}
+
+// MarshalBinary encodes the trained model for the tenant snapshot store.
+func (m *Model) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(modelWire{Assoc: m.assoc, WordTotal: m.wordTotal}); err != nil {
+		return nil, fmt.Errorf("classifier: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary decodes a model produced by MarshalBinary.
+func (m *Model) UnmarshalBinary(data []byte) error {
+	var w modelWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return fmt.Errorf("classifier: decode: %w", err)
+	}
+	if w.Assoc == nil {
+		w.Assoc = map[string]map[string]float64{}
+	}
+	if w.WordTotal == nil {
+		w.WordTotal = map[string]float64{}
+	}
+	m.assoc, m.wordTotal = w.Assoc, w.WordTotal
+	return nil
+}

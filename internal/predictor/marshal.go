@@ -1,0 +1,73 @@
+package predictor
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"strings"
+)
+
+// skelWire / modelWire are the exported mirrors of the trained state used
+// for serialization. Skeleton order is preserved (it is the deterministic
+// tie-break order of Predict), keys are re-derived from tokens, and the
+// runtime noise knobs (Noise, Rng) are deliberately not persisted — a
+// restored model is the clean trained artifact.
+type skelWire struct {
+	Tokens    []string
+	Count     float64
+	WordCount map[string]float64
+	WordTotal float64
+}
+
+type modelWire struct {
+	Skeletons []skelWire
+	Vocab     map[string]bool
+	TotalDocs float64
+}
+
+// MarshalBinary encodes the trained model for the tenant snapshot store.
+func (m *Model) MarshalBinary() ([]byte, error) {
+	w := modelWire{Vocab: m.vocab, TotalDocs: m.totalDocs}
+	for _, sc := range m.skeletons {
+		w.Skeletons = append(w.Skeletons, skelWire{
+			Tokens:    sc.tokens,
+			Count:     sc.count,
+			WordCount: sc.wordCount,
+			WordTotal: sc.wordTotal,
+		})
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		return nil, fmt.Errorf("predictor: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary decodes a model produced by MarshalBinary.
+func (m *Model) UnmarshalBinary(data []byte) error {
+	var w modelWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return fmt.Errorf("predictor: decode: %w", err)
+	}
+	m.skeletons = m.skeletons[:0]
+	for _, sc := range w.Skeletons {
+		wc := sc.WordCount
+		if wc == nil {
+			wc = map[string]float64{}
+		}
+		m.skeletons = append(m.skeletons, skelClass{
+			tokens:    sc.Tokens,
+			key:       strings.Join(sc.Tokens, " "),
+			count:     sc.Count,
+			wordCount: wc,
+			wordTotal: sc.WordTotal,
+		})
+	}
+	m.vocab = w.Vocab
+	if m.vocab == nil {
+		m.vocab = map[string]bool{}
+	}
+	m.totalDocs = w.TotalDocs
+	m.Noise, m.Rng = 0, nil
+	return nil
+}

@@ -153,12 +153,16 @@ type Database struct {
 	fp atomic.Uint64
 }
 
-// Fingerprint hashes the database's structural identity: name, table
-// order, column names and types. Row data is excluded. The execution
-// engine keys prepared-statement reuse on it, so two databases with equal
-// fingerprints must be plan-compatible (the TS metric's reinstantiated
-// instances are the motivating case). The value is computed once and
-// cached; do not mutate the schema after the engine has seen it.
+// Fingerprint hashes the database's structural identity: table order,
+// column names and types. The database name is deliberately excluded —
+// plans reference tables and columns by name within the schema, never the
+// database name, so two databases that differ only in name are
+// plan-compatible and share compiled plans (tenant clones registered from
+// one template schema are the motivating case). Row data is excluded too.
+// The execution engine keys prepared-statement reuse on it, so two
+// databases with equal fingerprints must be plan-compatible. The value is
+// computed once and cached; do not mutate the schema after the engine has
+// seen it.
 func (d *Database) Fingerprint() uint64 {
 	if v := d.fp.Load(); v != 0 {
 		return v
@@ -168,7 +172,6 @@ func (d *Database) Fingerprint() uint64 {
 		h.Write([]byte(s))
 		h.Write([]byte{0})
 	}
-	write(d.Name)
 	for _, t := range d.Tables {
 		write(t.Name)
 		for _, c := range t.Columns {

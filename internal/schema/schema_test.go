@@ -159,3 +159,52 @@ func TestQuickValueCompareAntisymmetric(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestFingerprintIsContentAddressed(t *testing.T) {
+	a, b := sampleDB(), sampleDB()
+	b.Name = "renamed"
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("databases differing only in name must share a fingerprint (they are plan-compatible)")
+	}
+
+	// Structural changes must change it: column type, column name, table
+	// order, extra column.
+	typ := sampleDB()
+	typ.Tables[0].Columns[1].Type = TypeNumber
+	if typ.Fingerprint() == a.Fingerprint() {
+		t.Error("column type change did not change fingerprint")
+	}
+	col := sampleDB()
+	col.Tables[0].Columns[1].Name = "renamed"
+	if col.Fingerprint() == a.Fingerprint() {
+		t.Error("column rename did not change fingerprint")
+	}
+	order := sampleDB()
+	order.Tables[0], order.Tables[1] = order.Tables[1], order.Tables[0]
+	if order.Fingerprint() == a.Fingerprint() {
+		t.Error("table reorder did not change fingerprint")
+	}
+	extra := sampleDB()
+	extra.Tables[2].Columns = append(extra.Tables[2].Columns, Column{Name: "w", Type: TypeText})
+	if extra.Fingerprint() == a.Fingerprint() {
+		t.Error("extra column did not change fingerprint")
+	}
+
+	// Row data is excluded.
+	rows := sampleDB()
+	rows.Tables[0].Rows = nil
+	if rows.Fingerprint() != a.Fingerprint() {
+		t.Error("row data must not affect the fingerprint")
+	}
+}
+
+func TestFingerprintCached(t *testing.T) {
+	d := sampleDB()
+	fp := d.Fingerprint()
+	if fp == 0 {
+		t.Fatal("fingerprint must never be 0")
+	}
+	if d.Fingerprint() != fp {
+		t.Error("cached fingerprint changed")
+	}
+}

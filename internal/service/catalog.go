@@ -67,16 +67,19 @@ type DatabaseStatusResponse struct {
 }
 
 func databaseStatus(s *catalog.Snapshot) DatabaseStatusResponse {
-	return DatabaseStatusResponse{
+	out := DatabaseStatusResponse{
 		Name:        s.Name,
 		State:       string(s.State),
 		Version:     s.Version,
 		Fingerprint: strconv.FormatUint(s.Fingerprint, 16),
-		Tables:      s.DB.TableNames(),
 		Demos:       len(s.Demos),
 		Registered:  rfc3339(s.Registered),
 		Built:       rfc3339(s.Built),
 	}
+	if s.DB != nil { // stored stubs carry no schema until lazily loaded
+		out.Tables = s.DB.TableNames()
+	}
+	return out
 }
 
 // buildDatabase converts the wire schema into the internal model. Cell

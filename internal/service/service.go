@@ -242,10 +242,14 @@ func (s *Server) handleDatabases(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.catalog != nil {
 		for _, snap := range s.catalog.List() {
-			out = append(out, databaseInfo{
-				Name: snap.Name, Tables: snap.DB.TableNames(),
+			info := databaseInfo{
+				Name:   snap.Name,
 				Source: "tenant", State: string(snap.State), Version: snap.Version,
-			})
+			}
+			if snap.DB != nil { // stored stubs carry no schema until loaded
+				info.Tables = snap.DB.TableNames()
+			}
+			out = append(out, info)
 		}
 	}
 	writeJSON(w, out)

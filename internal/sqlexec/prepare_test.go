@@ -342,7 +342,13 @@ func TestPlanCacheInvalidateFingerprint(t *testing.T) {
 	c := NewPlanCache(16)
 	db := testDB()
 	other := testDB()
-	other.Name = "other" // different structural identity => different fingerprint
+	other.Name = "other"
+	// A rename alone keeps the fingerprint (content-addressed); add a table
+	// for a different structural identity => different fingerprint.
+	other.Tables = append(other.Tables, &schema.Table{
+		Name:    "extra",
+		Columns: []schema.Column{{Name: "id", Type: schema.TypeNumber}},
+	})
 	queries := []string{"SELECT name FROM singer", "SELECT bname FROM band"}
 	for _, q := range queries {
 		if _, err := c.Exec(db, q); err != nil {

@@ -1,0 +1,139 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"strconv"
+)
+
+// Op is a catalog mutation kind logged to the write-ahead log.
+type Op string
+
+// WAL operations. Register/Reregister make a tenant (version) live,
+// Deregister and Evict durably remove it, Built marks a version's trained
+// models as persisted (so recovery can distinguish a ready tenant from one
+// whose build was lost in the crash).
+const (
+	OpRegister   Op = "register"
+	OpReregister Op = "reregister"
+	OpDeregister Op = "deregister"
+	OpEvict      Op = "evict"
+	OpBuilt      Op = "built"
+)
+
+// Record is one WAL entry. Fingerprint travels as hex so the JSON wire
+// format has no uint64-precision pitfalls.
+type Record struct {
+	Op      Op     `json:"op"`
+	Key     string `json:"key"`
+	Name    string `json:"name,omitempty"`
+	Version int    `json:"version,omitempty"`
+	FP      string `json:"fp,omitempty"`
+	// Unix is the mutation time in nanoseconds since the epoch.
+	Unix int64 `json:"ts,omitempty"`
+}
+
+// SetFingerprint / FingerprintValue convert the hex wire form.
+func (r *Record) SetFingerprint(fp uint64) { r.FP = strconv.FormatUint(fp, 16) }
+
+// FingerprintValue parses the record's hex fingerprint (0 when absent or
+// malformed; 0 is never a valid schema fingerprint).
+func (r *Record) FingerprintValue() uint64 {
+	fp, err := strconv.ParseUint(r.FP, 16, 64)
+	if err != nil {
+		return 0
+	}
+	return fp
+}
+
+// RecoveredTenant is the replayed live state of one tenant: the latest
+// registration that was neither deregistered nor evicted.
+type RecoveredTenant struct {
+	Key         string
+	Name        string
+	Version     int
+	Fingerprint uint64
+	// Built reports whether the version's trained models were persisted
+	// before the process died; an unbuilt tenant must re-train on load.
+	Built bool
+	// RegisteredUnix is the registration time (nanoseconds).
+	RegisteredUnix int64
+}
+
+// encodeRecord renders one WAL line: crc32(json) in fixed-width hex, a tab,
+// the JSON body, a newline. The checksum detects both torn tail writes
+// after a crash and bit rot anywhere in the log.
+func encodeRecord(r Record) ([]byte, error) {
+	body, err := json.Marshal(r)
+	if err != nil {
+		return nil, fmt.Errorf("store: encode wal record: %w", err)
+	}
+	line := make([]byte, 0, len(body)+10)
+	line = append(line, fmt.Sprintf("%08x", crc32.ChecksumIEEE(body))...)
+	line = append(line, '\t')
+	line = append(line, body...)
+	line = append(line, '\n')
+	return line, nil
+}
+
+// decodeWAL parses the log, returning every record up to (excluding) the
+// first damaged line and the byte offset where the good prefix ends. A
+// damaged line is expected exactly once — the torn tail of a crash — and
+// the caller truncates the log there; anything after it is unreachable
+// history by WAL semantics.
+func decodeWAL(data []byte) (recs []Record, goodOffset int64) {
+	off := int64(0)
+	for len(data) > 0 {
+		nl := bytes.IndexByte(data, '\n')
+		if nl < 0 {
+			return recs, off // partial final line: torn write
+		}
+		line := data[:nl]
+		data = data[nl+1:]
+		if len(line) < 10 || line[8] != '\t' {
+			return recs, off
+		}
+		want, err := strconv.ParseUint(string(line[:8]), 16, 32)
+		if err != nil {
+			return recs, off
+		}
+		body := line[9:]
+		if crc32.ChecksumIEEE(body) != uint32(want) {
+			return recs, off
+		}
+		var r Record
+		if err := json.Unmarshal(body, &r); err != nil || r.Key == "" {
+			return recs, off
+		}
+		recs = append(recs, r)
+		off += int64(nl) + 1
+	}
+	return recs, off
+}
+
+// foldRecords replays the log into the live tenant set: last registration
+// wins per key, deregister/evict delete, built flags the matching version.
+func foldRecords(recs []Record) map[string]*RecoveredTenant {
+	live := map[string]*RecoveredTenant{}
+	for _, r := range recs {
+		switch r.Op {
+		case OpRegister, OpReregister:
+			live[r.Key] = &RecoveredTenant{
+				Key:            r.Key,
+				Name:           r.Name,
+				Version:        r.Version,
+				Fingerprint:    r.FingerprintValue(),
+				RegisteredUnix: r.Unix,
+			}
+		case OpBuilt:
+			if t, ok := live[r.Key]; ok && t.Version == r.Version {
+				t.Built = true
+			}
+		case OpDeregister, OpEvict:
+			delete(live, r.Key)
+		}
+	}
+	return live
+}
