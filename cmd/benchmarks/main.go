@@ -15,7 +15,10 @@
 // batch engine and is uploaded by CI as the BENCH_executor.json artifact;
 // "catalog" covers multi-tenant registration, snapshot swap and the
 // lock-free tenant-lookup hot path (BENCH_catalog.json artifact), sharing
-// its fixtures with internal/catalog's own benchmarks. -short skips the
+// its fixtures with internal/catalog's own benchmarks; "router" covers the
+// sharding tier — consistent-hash ring lookup/build, routing-key
+// extraction and the full proxy hop against a loopback shard
+// (BENCH_router.json artifact). -short skips the
 // corpus-building benchmarks for CI latency; workload sizes are identical
 // either way so short and full numbers stay comparable.
 package main
@@ -25,6 +28,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"testing"
 	"time"
@@ -36,6 +42,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/exp"
 	"repro/internal/llm"
+	"repro/internal/router"
 	"repro/internal/schema"
 	"repro/internal/spider"
 	"repro/internal/sqlexec"
@@ -50,7 +57,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "corpus and pipeline seed")
 		workers  = flag.Int("workers", 1, "translation worker pool size (>1 parallelizes; output is identical to -workers 1)")
 		jsonMode = flag.Bool("json", false, "emit micro-benchmark results as JSON and exit")
-		benchSet = flag.String("set", "executor", "with -json: benchmark set to run (executor|catalog)")
+		benchSet = flag.String("set", "executor", "with -json: benchmark set to run (executor|catalog|router)")
 		short    = flag.Bool("short", false, "with -json: skip the corpus-building benchmarks (exec_ts_metric, engine_batch_translate); workload sizes are unchanged so numbers stay comparable")
 		rowEng   = flag.Bool("row-engine", false, "execute queries row-at-a-time instead of through the vectorized columnar engine (escape hatch / A-B baseline)")
 	)
@@ -67,8 +74,10 @@ func main() {
 			err = runJSONBenchmarks(*short)
 		case "catalog":
 			err = runCatalogBenchmarks()
+		case "router":
+			err = runRouterBenchmarks()
 		default:
-			err = fmt.Errorf("unknown -set %q (want executor or catalog)", *benchSet)
+			err = fmt.Errorf("unknown -set %q (want executor, catalog or router)", *benchSet)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -329,6 +338,117 @@ func runCatalogBenchmarks() error {
 				}
 			}
 		}},
+	}
+	return emitReport(false, benches)
+}
+
+// runRouterBenchmarks measures the horizontal-sharding tier. ring_lookup is
+// the routing hot path and must stay allocation-free — CI's benchdiff gate
+// pins its allocs/op at zero. proxy_roundtrip measures one full client →
+// router → shard hop against a loopback backend; direct_roundtrip is the
+// same client → backend call without the router, so the difference is the
+// proxy overhead the tier adds per request.
+func runRouterBenchmarks() error {
+	shards := []string{"10.0.0.1:8080", "10.0.0.2:8080", "10.0.0.3:8080", "10.0.0.4:8080"}
+	keys := make([]string, 256)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("tenant_db_%d", i)
+	}
+
+	pathReq, err := http.NewRequest(http.MethodPost, "http://router/v1/databases/concert_singer/sql", nil)
+	if err != nil {
+		return err
+	}
+	bodyReq, err := http.NewRequest(http.MethodPost, "http://router/v1/translate", nil)
+	if err != nil {
+		return err
+	}
+	sniffBody := []byte(`{"database":"concert_singer","question":"How many singers are there?"}`)
+
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"sql":"SELECT count(*) FROM singer"}`))
+	}))
+	defer backend.Close()
+	rt, err := router.New(router.Config{
+		Shards:        []string{backend.Listener.Addr().String()},
+		ProbeInterval: -1, // no background loop inside a benchmark
+		HedgeAfter:    -1,
+	})
+	if err != nil {
+		return err
+	}
+	defer rt.Close()
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+	hc := &http.Client{}
+	roundtrip := func(base string) func(*testing.B) {
+		url := base + "/v1/databases/concert_singer"
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				resp, err := hc.Get(url)
+				if err != nil {
+					b.Fatal(err)
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}
+	}
+
+	benches := []namedBench{
+		{"ring_lookup", func(b *testing.B) {
+			ring := router.BuildRing(shards, router.DefaultVNodes)
+			b.ReportAllocs()
+			b.ResetTimer()
+			var sink string
+			for i := 0; i < b.N; i++ {
+				sink = ring.Lookup(keys[i&255])
+			}
+			if sink == "" {
+				b.Fatal("empty placement")
+			}
+		}},
+		{"ring_lookup2", func(b *testing.B) {
+			ring := router.BuildRing(shards, router.DefaultVNodes)
+			b.ReportAllocs()
+			b.ResetTimer()
+			var sink string
+			for i := 0; i < b.N; i++ {
+				sink, _ = ring.Lookup2(keys[i&255])
+			}
+			if sink == "" {
+				b.Fatal("empty placement")
+			}
+		}},
+		{"ring_build_4x160", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if router.BuildRing(shards, router.DefaultVNodes) == nil {
+					b.Fatal("nil ring")
+				}
+			}
+		}},
+		{"routing_key_path", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if router.RoutingKey(pathReq, nil) != "concert_singer" {
+					b.Fatal("wrong key")
+				}
+			}
+		}},
+		{"routing_key_body_sniff", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if router.RoutingKey(bodyReq, sniffBody) != "concert_singer" {
+					b.Fatal("wrong key")
+				}
+			}
+		}},
+		{"proxy_roundtrip", roundtrip(front.URL)},
+		{"direct_roundtrip", roundtrip(backend.URL)},
 	}
 	return emitReport(false, benches)
 }

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -33,7 +34,7 @@ import (
 
 func main() {
 	var (
-		url        = flag.String("url", "http://localhost:8080", "server base URL")
+		url        = flag.String("url", "http://localhost:8080", "server base URL; a comma-separated list fans requests round-robin across equivalent fronts (e.g. redundant routers)")
 		duration   = flag.Duration("duration", 10*time.Second, "how long to generate load")
 		workers    = flag.Int("workers", 8, "closed-loop concurrency")
 		rate       = flag.Float64("rate", 0, "open-loop request rate in req/s (0 = closed loop)")
@@ -59,11 +60,16 @@ func main() {
 	defer stop()
 
 	if *waitReady > 0 {
-		waitCtx, cancel := context.WithTimeout(ctx, *waitReady)
-		err := loadgen.WaitReady(waitCtx, nil, *url)
-		cancel()
-		if err != nil {
-			fatal(2, "%v", err)
+		for _, target := range strings.Split(*url, ",") {
+			if target = strings.TrimSpace(target); target == "" {
+				continue
+			}
+			waitCtx, cancel := context.WithTimeout(ctx, *waitReady)
+			err := loadgen.WaitReady(waitCtx, nil, target)
+			cancel()
+			if err != nil {
+				fatal(2, "%v", err)
+			}
 		}
 	}
 

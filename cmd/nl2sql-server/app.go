@@ -18,6 +18,7 @@ import (
 	"repro/internal/jobs"
 	"repro/internal/llm"
 	"repro/internal/metrics"
+	"repro/internal/router"
 	"repro/internal/service"
 	"repro/internal/spider"
 	"repro/internal/sqlexec"
@@ -55,6 +56,17 @@ type appConfig struct {
 	TenantMemBudget int64
 	Pprof           bool
 	RowEngine       bool
+	// ShardID stamps responses with X-NL2SQL-Shard and names this instance's
+	// WAL inside a shared -data-dir. Use the shard's advertised host:port so
+	// clients can echo the header for sticky routing through the router.
+	ShardID string
+	// Router switches the process into the proxy tier: no pipeline, no
+	// catalog — just the consistent-hash router over Shards.
+	Router        bool
+	Shards        string // comma-separated shard host:port addresses
+	ProbeInterval time.Duration
+	HedgeAfter    time.Duration
+	Retries       int
 }
 
 // app is the assembled server: the HTTP listener plus the subsystems whose
@@ -65,6 +77,7 @@ type app struct {
 	svc     *service.Server
 	cat     *catalog.Catalog
 	st      *store.Store
+	rt      *router.Router
 	reg     *metrics.Registry
 	srv     *http.Server
 	ln      net.Listener
@@ -72,8 +85,12 @@ type app struct {
 }
 
 // newApp builds the corpus, pipeline and subsystems, and binds the listener
-// (so the caller knows Addr is serving when newApp returns).
+// (so the caller knows Addr is serving when newApp returns). In -router mode
+// it builds the proxy tier instead.
 func newApp(cfg appConfig) (*app, error) {
+	if cfg.Router {
+		return newRouterApp(cfg)
+	}
 	start := time.Now()
 	if cfg.RowEngine {
 		sqlexec.SetDefaultRowEngine(true)
@@ -114,7 +131,7 @@ func newApp(cfg appConfig) (*app, error) {
 			if err != nil {
 				return nil, err
 			}
-			st, err = store.Open(cfg.DataDir, store.Options{Sync: mode})
+			st, err = store.Open(cfg.DataDir, store.Options{Sync: mode, Instance: storeInstance(cfg.ShardID)})
 			if err != nil {
 				return nil, err
 			}
@@ -140,6 +157,9 @@ func newApp(cfg appConfig) (*app, error) {
 		opts = append(opts, service.WithCatalog(cat))
 		log.Printf("catalog ready: fallback trained on %d bootstrap demonstrations, cap %d tenants", len(boot), cfg.MaxTenants)
 	}
+	if cfg.ShardID != "" {
+		opts = append(opts, service.WithShardID(cfg.ShardID))
+	}
 	pipeline := core.New(corpus.Train.Examples, client, core.DefaultConfig())
 	svc := service.New(pipeline, corpus, opts...)
 	log.Printf("ready in %v; %d dev tasks over %d databases; %d job runners, queue %d",
@@ -160,6 +180,66 @@ func newApp(cfg appConfig) (*app, error) {
 		svc: svc,
 		cat: cat,
 		st:  st,
+		reg: reg,
+		ln:  ln,
+		srv: &http.Server{
+			Handler:      handler,
+			ReadTimeout:  30 * time.Second,
+			WriteTimeout: 120 * time.Second,
+		},
+		started: make(chan struct{}),
+	}, nil
+}
+
+// storeInstance derives a shared-store instance name from the shard
+// identity: host:port is the natural -shard-id but ':' is not a valid
+// instance character, so it maps to '-'. Empty stays empty (exclusive mode).
+func storeInstance(shardID string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+			return r
+		default:
+			return '-'
+		}
+	}, shardID)
+}
+
+// newRouterApp assembles the proxy tier: no corpus, no pipeline — the
+// consistent-hash router over -shards plus its own metrics registry.
+func newRouterApp(cfg appConfig) (*app, error) {
+	var shards []string
+	for _, s := range strings.Split(cfg.Shards, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			shards = append(shards, s)
+		}
+	}
+	reg := metrics.NewRegistry()
+	rt, err := router.New(router.Config{
+		Shards:        shards,
+		ProbeInterval: cfg.ProbeInterval,
+		HedgeAfter:    cfg.HedgeAfter,
+		Retries:       cfg.Retries,
+		Registry:      reg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	handler := http.Handler(rt.Handler())
+	if cfg.Pprof {
+		handler = withPprof(handler)
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		rt.Close()
+		return nil, err
+	}
+	log.Printf("router ready: %d shards %v, probe interval %v, hedge-after %v",
+		len(shards), shards, cfg.ProbeInterval, cfg.HedgeAfter)
+	return &app{
+		cfg: cfg,
+		rt:  rt,
 		reg: reg,
 		ln:  ln,
 		srv: &http.Server{
@@ -211,6 +291,14 @@ func (a *app) run(ctx context.Context) error {
 	defer cancelHTTP()
 	if err := a.srv.Shutdown(httpCtx); err != nil {
 		log.Printf("http shutdown: %v", err)
+	}
+	if a.rt != nil {
+		// Router mode: in-flight proxied requests were covered by the HTTP
+		// drain above; stopping the probe loop and the pooled transports is
+		// all that remains.
+		a.rt.Close()
+		log.Printf("router drained")
+		return nil
 	}
 	// The job drain gets its own budget: a slow in-flight HTTP request must
 	// not eat the time promised to running jobs.

@@ -26,6 +26,15 @@
 // On SIGINT/SIGTERM the server stops accepting connections, then drains the
 // job subsystem: queued jobs are cancelled, running jobs get -drain-timeout
 // to finish before being cancelled with partial results checkpointed.
+//
+// Horizontal sharding: -router turns the process into the proxy tier that
+// spreads tenants across shards on a consistent-hash ring, health-probes the
+// shard set, and hedges tail latency (see DESIGN.md):
+//
+//	nl2sql-server -addr :19081 -shard-id 127.0.0.1:19081 -data-dir ./shared &
+//	nl2sql-server -addr :19082 -shard-id 127.0.0.1:19082 -data-dir ./shared &
+//	nl2sql-server -router -addr :8080 -shards 127.0.0.1:19081,127.0.0.1:19082
+//	curl localhost:8080/v1/router                          # topology status
 package main
 
 import (
@@ -56,6 +65,12 @@ func main() {
 	flag.Int64Var(&cfg.TenantMemBudget, "tenant-mem-budget", 0, "resident-bytes budget for store-backed tenants (snapshot-size proxy); past it idle ready tenants unload to stubs (0 = unlimited)")
 	flag.BoolVar(&cfg.Pprof, "pprof", false, "mount net/http/pprof debug endpoints under /debug/pprof/")
 	flag.BoolVar(&cfg.RowEngine, "row-engine", false, "execute SQL row-at-a-time instead of through the vectorized columnar engine (escape hatch / A-B baseline)")
+	flag.StringVar(&cfg.ShardID, "shard-id", "", "shard identity stamped on responses (X-NL2SQL-Shard) and naming this instance's WAL in a shared -data-dir; use the advertised host:port for sticky routing")
+	flag.BoolVar(&cfg.Router, "router", false, "serve the consistent-hash routing tier instead of a shard (requires -shards)")
+	flag.StringVar(&cfg.Shards, "shards", "", "comma-separated shard addresses (host:port) the router proxies to")
+	flag.DurationVar(&cfg.ProbeInterval, "replication-probe-interval", time.Second, "router health-probe cadence; a shard is ejected after 2 failed probes and readmitted after 1 pass")
+	flag.DurationVar(&cfg.HedgeAfter, "hedge-after", 0, "router tail-hedging delay before duplicating a read to the replica successor (0 adapts to the observed p95, negative disables)")
+	flag.IntVar(&cfg.Retries, "retries", 2, "router retry budget: extra attempts against other shards after a transport error (negative disables)")
 	flag.Parse()
 
 	a, err := newApp(cfg)

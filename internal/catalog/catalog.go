@@ -205,6 +205,9 @@ type Stats struct {
 	Reregistered int64 `json:"reregistered"`
 	Deregistered int64 `json:"deregistered"`
 	Evicted      int64 `json:"evicted"`
+	// Adopted counts tenants taken over from another shard's persisted
+	// snapshot in a shared store (resharding hand-off, no re-training).
+	Adopted      int64 `json:"adopted,omitempty"`
 	BuildsDone   int64 `json:"builds_done"`
 	BuildsStale  int64 `json:"builds_stale"`
 	BuildsFailed int64 `json:"builds_failed"`
@@ -575,7 +578,13 @@ func (c *Catalog) retireTenantLocked(t *Tenant, op store.Op) {
 		rec := store.Record{Op: op, Key: t.key, Name: s.Name, Version: s.Version, Unix: c.now().UnixNano()}
 		rec.SetFingerprint(s.Fingerprint)
 		c.cfg.Store.Append(rec)
-		c.cfg.Store.DeleteTenant(t.key)
+		// With a shared store only explicit deregistration destroys the
+		// persisted snapshot: an eviction or corrupt-load drop on this shard
+		// must not delete trained state that the ring may place on another
+		// shard (or back here) later.
+		if op == store.OpDeregister || !c.cfg.Store.Shared() {
+			c.cfg.Store.DeleteTenant(t.key)
+		}
 	}
 }
 

@@ -18,6 +18,7 @@ func (c *Catalog) Instrument(reg *metrics.Registry) {
 		s.Counter("catalog_reregistered_total", "Databases re-registered (version bumps).", float64(st.Reregistered))
 		s.Counter("catalog_deregistered_total", "Databases explicitly deregistered.", float64(st.Deregistered))
 		s.Counter("catalog_evicted_total", "Tenants evicted by the LRU cap or idle TTL.", float64(st.Evicted))
+		s.Counter("catalog_adopted_total", "Tenants adopted from another shard's persisted snapshot (resharding hand-off).", float64(st.Adopted))
 		s.Counter("catalog_builds_done_total", "Async tenant model builds published.", float64(st.BuildsDone))
 		s.Counter("catalog_builds_stale_total", "Builds discarded because a newer registration retired them.", float64(st.BuildsStale))
 		s.Counter("catalog_builds_failed_total", "Builds that errored (typically cancelled during drain).", float64(st.BuildsFailed))

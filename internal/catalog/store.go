@@ -9,6 +9,7 @@ package catalog
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"repro/internal/classifier"
@@ -53,6 +54,72 @@ func (c *Catalog) recoverFromStore() {
 	// A cap lowered across the restart is enforced immediately (and
 	// durably) rather than on the next registration.
 	c.evictOverCapLocked(nil)
+}
+
+// AdoptStored takes over a tenant whose trained state another shard
+// persisted to the shared store: the resharding hand-off. When the ring
+// moves a tenant here (a shard died, or the shard set changed), this shard
+// has no WAL history for it — but the previous owner's fingerprint-
+// addressed snapshot is sitting in the common snapshots directory. Adopt
+// finds the newest persisted version, registers it in this catalog's own
+// WAL as a stored stub, and loads it into serving shape — trained models
+// and all, zero re-training. Idempotent: an already-present tenant is
+// returned as-is. Returns ErrNotFound when no snapshot exists for the
+// name (the caller falls back to a plain 404 → client re-registration).
+func (c *Catalog) AdoptStored(name string) (*Snapshot, error) {
+	if c.cfg.Store == nil || !c.cfg.Store.Shared() {
+		return nil, ErrNotFound
+	}
+	key := strings.ToLower(name)
+	if key == "" || !validName(key) {
+		return nil, ErrNotFound
+	}
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if t, ok := (*c.tenants.Load())[key]; ok {
+		c.mu.Unlock()
+		if t.snap.Load().State == StateStored && !c.ensureLoaded(t) {
+			return nil, ErrNotFound
+		}
+		return t.Snapshot(), nil
+	}
+	version, fp, ok := c.cfg.Store.FindSnapshot(key)
+	if !ok {
+		c.mu.Unlock()
+		return nil, ErrNotFound
+	}
+	t := &Tenant{key: key}
+	t.lastUsed.Store(c.now().UnixNano())
+	stub := &Snapshot{
+		Name:        key,
+		Version:     version,
+		State:       StateStored,
+		Fingerprint: fp,
+		Registered:  c.now(),
+	}
+	t.snap.Store(stub)
+	c.acquireFPLocked(fp)
+	// The snapshot file already exists (the previous owner wrote it), so
+	// appending the register record directly keeps the store invariant that
+	// recovery only trusts records whose snapshot landed first. Built
+	// status is not recorded — ready-vs-warming is decided at load by
+	// whether the file carries models.
+	rec := store.Record{Op: store.OpRegister, Key: key, Name: key, Version: version, Unix: stub.Registered.UnixNano()}
+	rec.SetFingerprint(fp)
+	c.cfg.Store.Append(rec)
+	c.swapTenants(func(m tenantMap) { m[key] = t })
+	c.counters.Adopted++
+	c.evictOverCapLocked(t)
+	c.mu.Unlock()
+
+	if !c.ensureLoaded(t) {
+		return nil, ErrNotFound
+	}
+	return t.Snapshot(), nil
 }
 
 // ensureLoaded resolves a stored stub into a servable snapshot, single-

@@ -61,13 +61,20 @@ type chatResponse struct {
 	} `json:"error"`
 }
 
+// defaultHTTP is the shared fallback client for HTTPClients constructed
+// without one. A single process-wide client keeps one connection pool warm
+// across calls; allocating a fresh client per Complete call would dial a
+// new connection every time (no pool survives the call) and leak idle
+// sockets under concurrency.
+var defaultHTTP = &http.Client{Timeout: 60 * time.Second}
+
 // Complete implements Client. Transport or decode failures degrade to an
 // empty response rather than panicking the pipeline; callers treat an empty
 // SQL list as a failed translation.
 func (c *HTTPClient) Complete(req Request) Response {
 	hc := c.HTTP
 	if hc == nil {
-		hc = &http.Client{Timeout: 60 * time.Second}
+		hc = defaultHTTP
 	}
 	n := req.N
 	if n <= 0 {

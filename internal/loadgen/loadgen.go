@@ -100,7 +100,10 @@ func ParseMix(s string) (Mix, error) {
 // Config parameterizes a run. BaseURL and Duration are required; everything
 // else has a default noted on the field.
 type Config struct {
-	// BaseURL is the server root, e.g. "http://localhost:8080".
+	// BaseURL is the server root, e.g. "http://localhost:8080". A comma-
+	// separated list fans requests round-robin across several equivalent
+	// fronts — redundant routers over one shard set, or any targets that
+	// serve a consistent view of the same tenants.
 	BaseURL string
 	// Duration is how long to generate load.
 	Duration time.Duration
@@ -129,16 +132,59 @@ type Config struct {
 	Seed int64
 	// Timeout is the per-request client timeout (default 30s).
 	Timeout time.Duration
-	// Client overrides the HTTP client (tests); when nil one is built with
-	// a pool sized to Workers.
+	// Client overrides the HTTP client (tests); when nil the process-wide
+	// pooled client is used, sized to the run's in-flight bound.
 	Client *http.Client
+
+	// targets is BaseURL split and normalized by withDefaults.
+	targets []string
+}
+
+// The pooled transport is process-wide: successive runs (and concurrent
+// multi-target runs) reuse one warm connection pool instead of each
+// building a transport whose sockets die with the run. The per-host idle
+// cap only ratchets up — a small run after a big one must not shrink the
+// pool under the big run's feet.
+var (
+	transportMu     sync.Mutex
+	sharedTr        *http.Transport
+	sharedTrPerHost int
+)
+
+// pooledClient returns a client over the shared transport with the per-host
+// idle-connection cap raised to at least bound — the run's worst-case
+// in-flight count, so closed-loop workers (and open-loop bursts up to
+// MaxInFlight) never cycle connections through TIME_WAIT.
+func pooledClient(bound int, timeout time.Duration) *http.Client {
+	transportMu.Lock()
+	defer transportMu.Unlock()
+	if sharedTr == nil {
+		sharedTr = http.DefaultTransport.(*http.Transport).Clone()
+	}
+	if bound > sharedTrPerHost {
+		sharedTrPerHost = bound
+		sharedTr.MaxIdleConnsPerHost = bound
+		if sharedTr.MaxIdleConns < 2*bound {
+			sharedTr.MaxIdleConns = 2 * bound
+		}
+	}
+	return &http.Client{Timeout: timeout, Transport: sharedTr}
 }
 
 func (c Config) withDefaults() (Config, error) {
 	if c.BaseURL == "" {
 		return c, fmt.Errorf("loadgen: BaseURL is required")
 	}
-	c.BaseURL = strings.TrimRight(c.BaseURL, "/")
+	c.targets = c.targets[:0]
+	for _, u := range strings.Split(c.BaseURL, ",") {
+		if u = strings.TrimRight(strings.TrimSpace(u), "/"); u != "" {
+			c.targets = append(c.targets, u)
+		}
+	}
+	if len(c.targets) == 0 {
+		return c, fmt.Errorf("loadgen: BaseURL holds no usable targets")
+	}
+	c.BaseURL = c.targets[0]
 	if c.Duration <= 0 {
 		return c, fmt.Errorf("loadgen: Duration must be positive")
 	}
@@ -164,10 +210,14 @@ func (c Config) withDefaults() (Config, error) {
 		c.Timeout = 30 * time.Second
 	}
 	if c.Client == nil {
-		tr := http.DefaultTransport.(*http.Transport).Clone()
-		tr.MaxIdleConns = c.Workers + 16
-		tr.MaxIdleConnsPerHost = c.Workers + 16
-		c.Client = &http.Client{Timeout: c.Timeout, Transport: tr}
+		// The in-flight bound: closed loop = the worker count, open loop =
+		// whatever MaxInFlight admits (dispatch goroutines, not workers,
+		// carry the concurrency there).
+		bound := c.Workers + 16
+		if c.Rate > 0 && c.MaxInFlight > bound {
+			bound = c.MaxInFlight
+		}
+		c.Client = pooledClient(bound, c.Timeout)
 	}
 	return c, nil
 }
@@ -241,6 +291,16 @@ type runner struct {
 	order   []string
 	execSQL []execTarget // benchmark-database execute targets
 	tenants []string
+	rrc     atomic.Uint64 // round-robin cursor over cfg.targets
+}
+
+// target picks the next base URL round-robin (a single target is the
+// overwhelmingly common case and skips the counter).
+func (r *runner) target() string {
+	if len(r.cfg.targets) == 1 {
+		return r.cfg.targets[0]
+	}
+	return r.cfg.targets[int(r.rrc.Add(1)%uint64(len(r.cfg.targets)))]
 }
 
 type execTarget struct {
@@ -395,7 +455,7 @@ func (r *runner) post(ctx context.Context, path string, body any) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, r.cfg.BaseURL+path, bytes.NewReader(data))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, r.target()+path, bytes.NewReader(data))
 	if err != nil {
 		return 0, err
 	}
@@ -463,7 +523,7 @@ func (r *runner) doJobs(ctx context.Context, rng *rand.Rand) (int, error) {
 // discoverExecTargets learns the benchmark databases (and a table each) from
 // GET /v1/databases, so /execute traffic needs no hand-configured SQL.
 func (r *runner) discoverExecTargets(ctx context.Context) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.cfg.BaseURL+"/v1/databases", nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.target()+"/v1/databases", nil)
 	if err != nil {
 		return err
 	}
@@ -678,27 +738,42 @@ func WaitReady(ctx context.Context, client *http.Client, baseURL string) error {
 // minRequests — the end-to-end proof that the middleware measured the load
 // the generator offered.
 func CheckMetrics(client *http.Client, baseURL string, minRequests int64) error {
+	return CheckMetricsAll(client, strings.Split(baseURL, ","), minRequests)
+}
+
+// CheckMetricsAll is the multi-target form of CheckMetrics: with requests
+// fanned round-robin across several fronts, each front counted only its
+// share, so the accounting proof sums http_requests_total over all of them.
+func CheckMetricsAll(client *http.Client, baseURLs []string, minRequests int64) error {
 	if client == nil {
 		client = &http.Client{Timeout: 10 * time.Second}
 	}
-	resp, err := client.Get(strings.TrimRight(baseURL, "/") + "/v1/metrics")
-	if err != nil {
-		return fmt.Errorf("loadgen: scraping metrics: %v", err)
+	var total int64
+	for _, u := range baseURLs {
+		u = strings.TrimRight(strings.TrimSpace(u), "/")
+		if u == "" {
+			continue
+		}
+		resp, err := client.Get(u + "/v1/metrics")
+		if err != nil {
+			return fmt.Errorf("loadgen: scraping metrics: %v", err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("loadgen: GET %s/v1/metrics: %d", u, resp.StatusCode)
+		}
+		if err != nil {
+			return err
+		}
+		samples, err := metrics.ParseExposition(body)
+		if err != nil {
+			return fmt.Errorf("loadgen: %s/v1/metrics is not valid Prometheus text: %v", u, err)
+		}
+		total += int64(metrics.SumSamples(samples, "http_requests_total"))
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("loadgen: GET /v1/metrics: %d", resp.StatusCode)
-	}
-	body, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return err
-	}
-	samples, err := metrics.ParseExposition(body)
-	if err != nil {
-		return fmt.Errorf("loadgen: /v1/metrics is not valid Prometheus text: %v", err)
-	}
-	if got := int64(metrics.SumSamples(samples, "http_requests_total")); got < minRequests {
-		return fmt.Errorf("loadgen: server counted %d requests, expected at least %d", got, minRequests)
+	if total < minRequests {
+		return fmt.Errorf("loadgen: servers counted %d requests, expected at least %d", total, minRequests)
 	}
 	return nil
 }

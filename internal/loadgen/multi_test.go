@@ -1,0 +1,56 @@
+package loadgen
+
+// Multi-target fan-out and the process-wide pooled transport.
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestMultiTargetRoundRobin drives one run against two fronts and checks
+// both actually served traffic, including the summed accounting proof.
+func TestMultiTargetRoundRobin(t *testing.T) {
+	srv1, _ := testService(t)
+	srv2, _ := testService(t)
+	rep, err := Run(context.Background(), Config{
+		BaseURL:  srv1.URL + " , " + srv2.URL + "/",
+		Duration: 400 * time.Millisecond,
+		Workers:  4,
+		Mix:      Mix{Translate: 1},
+		Tasks:    4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := rep.All()
+	if all.Requests == 0 || all.Errors > 0 || all.Non2xx > 0 {
+		t.Fatalf("aggregate row %+v, want clean traffic", all)
+	}
+	for i, srv := range []string{srv1.URL, srv2.URL} {
+		if err := CheckMetrics(nil, srv, 1); err != nil {
+			t.Errorf("front %d served no traffic: %v", i, err)
+		}
+	}
+	if err := CheckMetricsAll(nil, []string{srv1.URL, srv2.URL}, all.Requests); err != nil {
+		t.Errorf("summed accounting across fronts fell short: %v", err)
+	}
+}
+
+// TestPooledClientRatchets pins the upgrade-only sizing of the shared
+// transport: a larger bound grows the per-host cap, a smaller one must not
+// shrink it back under a bigger concurrent run.
+func TestPooledClientRatchets(t *testing.T) {
+	c1 := pooledClient(512, time.Second)
+	if got := sharedTr.MaxIdleConnsPerHost; got < 512 {
+		t.Fatalf("per-host idle cap = %d after bound 512", got)
+	}
+	high := sharedTr.MaxIdleConnsPerHost
+	c2 := pooledClient(8, time.Second)
+	if got := sharedTr.MaxIdleConnsPerHost; got != high {
+		t.Fatalf("smaller run shrank the shared pool: %d -> %d", high, got)
+	}
+	if c1.Transport != c2.Transport {
+		t.Fatal("runs are not sharing one transport")
+	}
+}

@@ -1,0 +1,797 @@
+// Package router is the horizontal-sharding tier: a thin HTTP proxy that
+// spreads tenants across nl2sql-server shards with a consistent-hash ring,
+// health-probes the shard set, retries connection failures against ring
+// neighbours, hedges tail latency with a delayed duplicate to the replica
+// successor, and drives the register-on-miss hand-off (POST
+// /v1/databases/{name}/adopt) so a tenant whose placement moved serves from
+// its persisted snapshot instead of re-training.
+//
+// The routing table (ring over the currently healthy shards) is an
+// immutable value behind an atomic pointer — the request path loads it
+// lock-free, RCU style, exactly like the catalog's tenant map — and only
+// the probe loop writes a replacement when a shard's health transitions.
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// ShardHeader carries shard attribution on responses. Shards set it to
+// their -shard-id; when an upstream answers without one the router fills in
+// the target address. Clients may echo it on follow-up requests (job polls)
+// for sticky routing — that only works when -shard-id is the shard's
+// advertised host:port, which is how the topology harness runs.
+const ShardHeader = "X-NL2SQL-Shard"
+
+const (
+	ejectThreshold  = 2                      // consecutive probe failures before ejection
+	coldHedgeDelay  = 25 * time.Millisecond  // adaptive hedge delay before enough samples
+	hedgeMinSamples = 50                     // observations before trusting the p95
+	hedgeFloor      = 2 * time.Millisecond   // adaptive clamp: never hedge hotter than this
+	hedgeCeil       = 500 * time.Millisecond // adaptive clamp: hedging slower than this is pointless
+	maxBodyBytes    = 32 << 20               // request bodies are buffered for retry/hedge replay
+)
+
+var errNoShards = errors.New("no healthy shards")
+
+// Config parameterizes a Router. Shards is required; zero values elsewhere
+// select the noted defaults.
+type Config struct {
+	// Shards is the backend set as host:port addresses (an http:// prefix
+	// is tolerated and stripped). Order does not matter — placement is
+	// order-independent by construction.
+	Shards []string
+	// VNodes is the ring's virtual-node budget per shard (default
+	// DefaultVNodes).
+	VNodes int
+	// ProbeInterval is the health-probe cadence (default 1s). Negative
+	// disables the background loop; tests then drive CheckNow directly.
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe request (default min(ProbeInterval, 2s)).
+	ProbeTimeout time.Duration
+	// Retries is the number of extra attempts against other healthy shards
+	// after a transport error (default 2; negative disables retries).
+	Retries int
+	// HedgeAfter fixes the hedging delay. Zero selects the adaptive mode —
+	// the router's observed p95, clamped to [2ms, 500ms], re-derived each
+	// probe tick. Negative disables hedging.
+	HedgeAfter time.Duration
+	// Registry receives the router_* instruments and the proxy's
+	// http_requests_total (default: a fresh registry, served at /v1/metrics).
+	Registry *metrics.Registry
+	// Transport overrides the proxy/probe transport (tests). The default is
+	// a pooled http.Transport sized for shard fan-in.
+	Transport http.RoundTripper
+}
+
+// table is one immutable routing epoch: the ring spans exactly the healthy
+// shards. Readers load it with a single atomic pointer read.
+type table struct {
+	ring  *Ring
+	epoch uint64
+}
+
+type shardHealth struct {
+	fails   int
+	healthy bool
+}
+
+type adoptCall struct {
+	done chan struct{}
+	ok   bool
+}
+
+// Router proxies the nl2sql service surface across a shard set.
+type Router struct {
+	cfg           Config
+	shards        []string // normalized, sorted, deduplicated
+	shardSet      map[string]bool
+	probeInterval time.Duration
+	probeTimeout  time.Duration
+
+	client      *http.Client
+	probeClient *http.Client
+	transport   http.RoundTripper
+
+	tab     atomic.Pointer[table]
+	rr      atomic.Uint64 // round-robin cursor for keyless requests
+	hedgeNs atomic.Int64  // adaptive hedge delay, nanoseconds
+
+	probeMu sync.Mutex // serializes CheckNow; owns health + epoch
+	health  map[string]shardHealth
+	epoch   uint64
+
+	adoptMu  sync.Mutex
+	adopting map[string]*adoptCall
+
+	reg       *metrics.Registry
+	latAll    *metrics.Histogram // aggregate proxy latency, feeds the p95 hedge delay
+	latShard  map[string]*metrics.Histogram
+	reqCodes  sync.Map // int status -> *metrics.Counter (http_requests_total)
+	mRequests *metrics.Counter
+	mRetries  *metrics.Counter
+	mHedges   *metrics.Counter
+	mHedgeWin *metrics.Counter
+	mHedgeLos *metrics.Counter
+	mEject    *metrics.Counter
+	mReadmit  *metrics.Counter
+	mAdopt    *metrics.Counter
+	gHealthy  *metrics.Gauge
+
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+	looping  bool
+}
+
+// New builds a Router over the configured shard set. All shards start
+// healthy (optimistic: probes eject the dead ones within two intervals, and
+// a router that assumed the worst could serve nothing at boot).
+func New(cfg Config) (*Router, error) {
+	shards, err := normalizeShards(cfg.Shards)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.VNodes <= 0 {
+		cfg.VNodes = DefaultVNodes
+	}
+	if cfg.Retries == 0 {
+		cfg.Retries = 2
+	} else if cfg.Retries < 0 {
+		cfg.Retries = 0
+	}
+	rt := &Router{
+		cfg:           cfg,
+		shards:        shards,
+		shardSet:      map[string]bool{},
+		probeInterval: cfg.ProbeInterval,
+		probeTimeout:  cfg.ProbeTimeout,
+		health:        map[string]shardHealth{},
+		adopting:      map[string]*adoptCall{},
+		stop:          make(chan struct{}),
+		done:          make(chan struct{}),
+	}
+	if rt.probeInterval == 0 {
+		rt.probeInterval = time.Second
+	}
+	if rt.probeTimeout <= 0 {
+		rt.probeTimeout = 2 * time.Second
+		if rt.probeInterval > 0 && rt.probeInterval < rt.probeTimeout {
+			rt.probeTimeout = rt.probeInterval
+		}
+	}
+	rt.transport = cfg.Transport
+	if rt.transport == nil {
+		tr := &http.Transport{
+			DialContext: (&net.Dialer{
+				Timeout:   2 * time.Second,
+				KeepAlive: 30 * time.Second,
+			}).DialContext,
+			MaxIdleConns:        256,
+			MaxIdleConnsPerHost: 64,
+			IdleConnTimeout:     90 * time.Second,
+		}
+		rt.transport = tr
+	}
+	noRedirect := func(req *http.Request, via []*http.Request) error {
+		return http.ErrUseLastResponse // a proxy relays redirects, it does not follow them
+	}
+	rt.client = &http.Client{Transport: rt.transport, CheckRedirect: noRedirect}
+	rt.probeClient = &http.Client{Transport: rt.transport, Timeout: rt.probeTimeout, CheckRedirect: noRedirect}
+
+	for _, s := range shards {
+		rt.shardSet[s] = true
+		rt.health[s] = shardHealth{healthy: true}
+	}
+
+	rt.reg = cfg.Registry
+	if rt.reg == nil {
+		rt.reg = metrics.NewRegistry()
+	}
+	rt.latAll = metrics.NewHistogram(metrics.DefBuckets)
+	rt.latShard = make(map[string]*metrics.Histogram, len(shards))
+	for _, s := range shards {
+		rt.latShard[s] = rt.reg.Histogram("router_upstream_latency_seconds",
+			"Proxied request latency by shard.", metrics.DefBuckets, metrics.L("shard", s))
+	}
+	rt.mRequests = rt.reg.Counter("router_requests_total", "Requests handled by the proxy path.")
+	rt.mRetries = rt.reg.Counter("router_retries_total", "Attempts re-issued to another shard after a transport error.")
+	rt.mHedges = rt.reg.Counter("router_hedges_total", "Hedge requests fired to the replica successor.")
+	rt.mHedgeWin = rt.reg.Counter("router_hedge_wins_total", "Hedged requests answered by the hedge.")
+	rt.mHedgeLos = rt.reg.Counter("router_hedge_losses_total", "Hedged requests answered by the primary after the hedge fired.")
+	rt.mEject = rt.reg.Counter("router_ejections_total", "Shards ejected from the ring by health probes.")
+	rt.mReadmit = rt.reg.Counter("router_readmissions_total", "Ejected shards readmitted after a passing probe.")
+	rt.mAdopt = rt.reg.Counter("router_adoptions_total", "Successful register-on-miss adoptions driven by the router.")
+	rt.gHealthy = rt.reg.Gauge("router_healthy_shards", "Shards currently in the routing table.")
+
+	rt.hedgeNs.Store(int64(coldHedgeDelay))
+	rt.publishLocked()
+
+	if rt.probeInterval > 0 {
+		rt.looping = true
+		go rt.probeLoop()
+	}
+	return rt, nil
+}
+
+func normalizeShards(in []string) ([]string, error) {
+	if len(in) == 0 {
+		return nil, fmt.Errorf("router: at least one shard address is required")
+	}
+	seen := map[string]bool{}
+	out := make([]string, 0, len(in))
+	for _, s := range in {
+		a := strings.TrimSuffix(strings.TrimPrefix(strings.TrimSpace(s), "http://"), "/")
+		if a == "" {
+			return nil, fmt.Errorf("router: empty shard address")
+		}
+		if _, _, err := net.SplitHostPort(a); err != nil {
+			return nil, fmt.Errorf("router: bad shard address %q: %v", s, err)
+		}
+		if seen[a] {
+			continue
+		}
+		seen[a] = true
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Close stops the probe loop and releases pooled connections.
+func (rt *Router) Close() {
+	rt.stopOnce.Do(func() { close(rt.stop) })
+	if rt.looping {
+		<-rt.done
+	}
+	if tr, ok := rt.transport.(*http.Transport); ok {
+		tr.CloseIdleConnections()
+	}
+}
+
+func (rt *Router) probeLoop() {
+	defer close(rt.done)
+	t := time.NewTicker(rt.probeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-rt.stop:
+			return
+		case <-t.C:
+			rt.CheckNow(context.Background())
+		}
+	}
+}
+
+// CheckNow runs one probe round synchronously: every shard is probed
+// concurrently, health counters advance, and a changed healthy set
+// publishes a new routing table. The probe loop calls this on its tick;
+// tests call it directly for deterministic eject/readmit sequencing.
+func (rt *Router) CheckNow(ctx context.Context) {
+	rt.probeMu.Lock()
+	defer rt.probeMu.Unlock()
+	ok := make([]bool, len(rt.shards))
+	var wg sync.WaitGroup
+	for i, s := range rt.shards {
+		wg.Add(1)
+		go func(i int, addr string) {
+			defer wg.Done()
+			ok[i] = rt.probe(ctx, addr)
+		}(i, s)
+	}
+	wg.Wait()
+	changed := false
+	for i, addr := range rt.shards {
+		h := rt.health[addr]
+		if ok[i] {
+			h.fails = 0
+			if !h.healthy {
+				h.healthy = true
+				changed = true
+				rt.mReadmit.Inc()
+			}
+		} else {
+			h.fails++
+			if h.healthy && h.fails >= ejectThreshold {
+				h.healthy = false
+				changed = true
+				rt.mEject.Inc()
+			}
+		}
+		rt.health[addr] = h
+	}
+	if changed {
+		rt.publishLocked()
+	}
+	rt.updateHedgeDelay()
+}
+
+func (rt *Router) probe(ctx context.Context, addr string) bool {
+	ctx, cancel := context.WithTimeout(ctx, rt.probeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+addr+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := rt.probeClient.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// publishLocked swaps in a fresh routing table over the healthy subset.
+// Caller holds probeMu (or is New, before any reader exists).
+func (rt *Router) publishLocked() {
+	healthy := make([]string, 0, len(rt.shards))
+	for _, s := range rt.shards {
+		if rt.health[s].healthy {
+			healthy = append(healthy, s)
+		}
+	}
+	rt.epoch++
+	rt.tab.Store(&table{ring: BuildRing(healthy, rt.cfg.VNodes), epoch: rt.epoch})
+	rt.gHealthy.Set(float64(len(healthy)))
+}
+
+// updateHedgeDelay re-derives the adaptive hedge delay from the proxy's own
+// latency distribution. Fixed and disabled modes never touch it.
+func (rt *Router) updateHedgeDelay() {
+	if rt.cfg.HedgeAfter != 0 {
+		return
+	}
+	snap := rt.latAll.Snapshot()
+	if snap.Count < hedgeMinSamples {
+		return
+	}
+	d := time.Duration(snap.Quantile(0.95) * float64(time.Second))
+	if d < hedgeFloor {
+		d = hedgeFloor
+	}
+	if d > hedgeCeil {
+		d = hedgeCeil
+	}
+	rt.hedgeNs.Store(int64(d))
+}
+
+// hedgeDelay reports the current delay and whether hedging is enabled.
+func (rt *Router) hedgeDelay() (time.Duration, bool) {
+	switch {
+	case rt.cfg.HedgeAfter < 0:
+		return 0, false
+	case rt.cfg.HedgeAfter > 0:
+		return rt.cfg.HedgeAfter, true
+	default:
+		return time.Duration(rt.hedgeNs.Load()), true
+	}
+}
+
+// Healthy returns the shards currently in the routing table.
+func (rt *Router) Healthy() []string {
+	return append([]string(nil), rt.tab.Load().ring.Shards()...)
+}
+
+// Epoch returns the routing-table generation (bumped on every health
+// transition).
+func (rt *Router) Epoch() uint64 { return rt.tab.Load().epoch }
+
+// ---- HTTP surface ----
+
+// Handler returns the router's HTTP surface: /healthz (200 iff the table
+// is non-empty), /v1/metrics, /v1/router (topology status JSON), and the
+// proxy for everything else.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	mux.HandleFunc("GET /v1/metrics", rt.handleMetrics)
+	mux.HandleFunc("GET /v1/router", rt.handleStatus)
+	mux.HandleFunc("/", rt.handleProxy)
+	return mux
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if rt.tab.Load().ring.Len() == 0 {
+		http.Error(w, "no healthy shards", http.StatusServiceUnavailable)
+		return
+	}
+	w.Write([]byte("ok\n"))
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var buf bytes.Buffer
+	if err := rt.reg.WritePrometheus(&buf); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", metrics.ContentType)
+	w.Write(buf.Bytes())
+}
+
+// ShardStatus is one shard's row in the /v1/router report.
+type ShardStatus struct {
+	Addr      string  `json:"addr"`
+	Healthy   bool    `json:"healthy"`
+	Placement float64 `json:"placement"` // share of the ring, 0 when ejected
+}
+
+// Status is the /v1/router report.
+type Status struct {
+	Epoch         uint64        `json:"epoch"`
+	HealthyShards int           `json:"healthy_shards"`
+	HedgeAfterMs  float64       `json:"hedge_after_ms"` // negative when hedging is disabled
+	Shards        []ShardStatus `json:"shards"`
+}
+
+// Status reports the current topology.
+func (rt *Router) Status() Status {
+	tab := rt.tab.Load()
+	placement := tab.ring.Placement()
+	st := Status{
+		Epoch:         tab.epoch,
+		HealthyShards: tab.ring.Len(),
+		HedgeAfterMs:  -1,
+	}
+	if d, ok := rt.hedgeDelay(); ok {
+		st.HedgeAfterMs = float64(d) / float64(time.Millisecond)
+	}
+	for _, s := range rt.shards {
+		share, healthy := placement[s]
+		st.Shards = append(st.Shards, ShardStatus{Addr: s, Healthy: healthy, Placement: share})
+	}
+	return st
+}
+
+func (rt *Router) handleStatus(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(rt.Status())
+}
+
+// upstreamResponse is a fully buffered shard reply. Buffering is what makes
+// retry, hedging and adopt-then-retry safe: no partially consumed stream
+// ever reaches the client.
+type upstreamResponse struct {
+	status int
+	header http.Header
+	body   []byte
+	target string
+}
+
+func (rt *Router) handleProxy(w http.ResponseWriter, r *http.Request) {
+	rt.mRequests.Inc()
+	var body []byte
+	if r.Body != nil {
+		b, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
+		if err != nil {
+			rt.writeError(w, http.StatusBadRequest, "reading request body: "+err.Error())
+			return
+		}
+		if len(b) > maxBodyBytes {
+			rt.writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds the proxy buffer limit")
+			return
+		}
+		body = b
+	}
+	key := RoutingKey(r, body)
+	res, err := rt.dispatch(r, body, key)
+	if err != nil {
+		status := http.StatusBadGateway
+		if errors.Is(err, errNoShards) {
+			status = http.StatusServiceUnavailable
+		}
+		rt.writeError(w, status, "router: "+err.Error())
+		return
+	}
+	// Register-on-miss: a 404 for a tenant the ring places on this shard may
+	// just mean the placement moved (shard died, shard set changed) while the
+	// tenant's trained state sits in the shared store. One single-flighted
+	// adopt asks the shard to take it over; on success the original request
+	// is replayed once.
+	if res.status == http.StatusNotFound && key != "" && !strings.HasSuffix(r.URL.Path, "/adopt") {
+		if rt.adoptOnce(r.Context(), res.target, key) {
+			if res2, err2 := rt.proxyOnce(r.Context(), r, body, res.target); err2 == nil {
+				res = res2
+			}
+		}
+	}
+	rt.countRequest(res.status)
+	copyHeaders(w.Header(), res.header)
+	if w.Header().Get(ShardHeader) == "" {
+		w.Header().Set(ShardHeader, res.target)
+	}
+	w.WriteHeader(res.status)
+	w.Write(res.body)
+}
+
+func (rt *Router) writeError(w http.ResponseWriter, status int, msg string) {
+	rt.countRequest(status)
+	http.Error(w, msg, status)
+}
+
+// countRequest records the final status on http_requests_total with the
+// same label shape the shards use, so a metrics consumer (the loadgen
+// harness included) can account for offered load at the router alone.
+func (rt *Router) countRequest(status int) {
+	if c, ok := rt.reqCodes.Load(status); ok {
+		c.(*metrics.Counter).Inc()
+		return
+	}
+	c := rt.reg.Counter("http_requests_total", "HTTP requests by route and status code.",
+		metrics.L("route", "proxy"), metrics.L("code", strconv.Itoa(status)))
+	actual, _ := rt.reqCodes.LoadOrStore(status, c)
+	actual.(*metrics.Counter).Inc()
+}
+
+// RoutingKey extracts the tenant identity a request should shard on: the
+// /v1/databases/{name} path segment, else the database (or, on the
+// registration collection, name) field of a JSON body. Empty means the
+// request is tenant-free and round-robins.
+func RoutingKey(r *http.Request, body []byte) string {
+	if p, ok := strings.CutPrefix(r.URL.Path, "/v1/databases/"); ok && p != "" {
+		if i := strings.IndexByte(p, '/'); i >= 0 {
+			p = p[:i]
+		}
+		return strings.ToLower(p)
+	}
+	if len(body) > 0 {
+		var probe struct {
+			Database string `json:"database"`
+			Name     string `json:"name"`
+		}
+		if json.Unmarshal(body, &probe) == nil {
+			if probe.Database != "" {
+				return strings.ToLower(probe.Database)
+			}
+			if r.URL.Path == "/v1/databases" && probe.Name != "" {
+				return strings.ToLower(probe.Name)
+			}
+		}
+	}
+	return ""
+}
+
+// hedgeable limits duplicated requests to surfaces that are safe and cheap
+// to issue twice: reads, and the two idempotent hot-path translations.
+// Batch fan-outs and job submissions are never duplicated — a hedged job
+// would run twice.
+func hedgeable(r *http.Request) bool {
+	if r.Method == http.MethodGet {
+		return true
+	}
+	if r.Method != http.MethodPost {
+		return false
+	}
+	return r.URL.Path == "/v1/translate" || r.URL.Path == "/v1/execute"
+}
+
+type attemptResult struct {
+	res *upstreamResponse
+	err error
+}
+
+// dispatch routes one buffered request: candidate order is ring primary,
+// replica successor, then the remaining healthy shards; transport errors
+// spend the retry budget walking that order, and the first attempt hedges
+// when eligible.
+func (rt *Router) dispatch(r *http.Request, body []byte, key string) (*upstreamResponse, error) {
+	tab := rt.tab.Load()
+	shards := tab.ring.Shards()
+	if len(shards) == 0 {
+		return nil, errNoShards
+	}
+	var primary, successor string
+	if sticky := r.Header.Get(ShardHeader); sticky != "" && rt.shardSet[sticky] {
+		primary = sticky
+	} else if key != "" {
+		primary, successor = tab.ring.Lookup2(key)
+	} else {
+		i := int(rt.rr.Add(1) % uint64(len(shards)))
+		primary = shards[i]
+		if len(shards) > 1 {
+			successor = shards[(i+1)%len(shards)]
+		}
+	}
+	cands := make([]string, 0, len(shards)+1)
+	cands = append(cands, primary)
+	if successor != "" && successor != primary {
+		cands = append(cands, successor)
+	}
+	for _, s := range shards {
+		if s != primary && s != successor {
+			cands = append(cands, s)
+		}
+	}
+	if max := 1 + rt.cfg.Retries; len(cands) > max {
+		cands = cands[:max]
+	}
+	hedge := successor != "" && hedgeable(r)
+	var lastErr error
+	for i, target := range cands {
+		if i > 0 {
+			rt.mRetries.Inc()
+		}
+		var res *upstreamResponse
+		var err error
+		if d, ok := rt.hedgeDelay(); i == 0 && hedge && ok {
+			res, err = rt.hedgedOnce(r.Context(), r, body, primary, successor, d)
+		} else {
+			res, err = rt.proxyOnce(r.Context(), r, body, target)
+		}
+		if err != nil {
+			if r.Context().Err() != nil {
+				return nil, err // the client went away; more attempts serve no one
+			}
+			lastErr = err
+			continue
+		}
+		return res, nil
+	}
+	return nil, lastErr
+}
+
+// hedgedOnce races the primary against a delayed duplicate on the replica
+// successor. First usable response wins and the loser's context is
+// cancelled. A hedge 404 while the primary is still in flight is held back
+// — the replica may simply not host the tenant — and only used if the
+// primary fails outright.
+func (rt *Router) hedgedOnce(ctx context.Context, r *http.Request, body []byte, primary, successor string, delay time.Duration) (*upstreamResponse, error) {
+	pctx, pcancel := context.WithCancel(ctx)
+	defer pcancel()
+	pch := make(chan attemptResult, 1)
+	go func() {
+		res, err := rt.proxyOnce(pctx, r, body, primary)
+		pch <- attemptResult{res, err}
+	}()
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+	select {
+	case pr := <-pch:
+		return pr.res, pr.err
+	case <-timer.C:
+	}
+	rt.mHedges.Inc()
+	hctx, hcancel := context.WithCancel(ctx)
+	defer hcancel()
+	hch := make(chan attemptResult, 1)
+	go func() {
+		res, err := rt.proxyOnce(hctx, r, body, successor)
+		hch <- attemptResult{res, err}
+	}()
+	var held *upstreamResponse
+	var pdone, hdone bool
+	var perr error
+	for {
+		select {
+		case pr := <-pch:
+			pdone = true
+			if pr.err == nil {
+				hcancel()
+				rt.mHedgeLos.Inc()
+				return pr.res, nil
+			}
+			perr = pr.err
+			if held != nil {
+				rt.mHedgeWin.Inc()
+				return held, nil
+			}
+			if hdone {
+				return nil, perr
+			}
+		case hr := <-hch:
+			hdone = true
+			if hr.err == nil {
+				if hr.res.status == http.StatusNotFound && !pdone {
+					held = hr.res
+					continue
+				}
+				pcancel()
+				rt.mHedgeWin.Inc()
+				return hr.res, nil
+			}
+			if pdone {
+				return nil, perr
+			}
+		}
+	}
+}
+
+// proxyOnce issues the buffered request to one shard and buffers the reply.
+func (rt *Router) proxyOnce(ctx context.Context, r *http.Request, body []byte, target string) (*upstreamResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, r.Method, "http://"+target+r.URL.RequestURI(), bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	copyHeaders(req.Header, r.Header)
+	req.Header.Del(ShardHeader) // consumed for stickiness; shards answer with their own
+	start := time.Now()
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	rb, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+	rt.latAll.Observe(elapsed.Seconds())
+	if h := rt.latShard[target]; h != nil {
+		h.Observe(elapsed.Seconds())
+	}
+	return &upstreamResponse{status: resp.StatusCode, header: resp.Header.Clone(), body: rb, target: target}, nil
+}
+
+// adoptOnce single-flights the hand-off trigger per tenant key: one POST
+// .../adopt per storm of concurrent misses, everyone else waits for its
+// verdict.
+func (rt *Router) adoptOnce(ctx context.Context, target, key string) bool {
+	rt.adoptMu.Lock()
+	if c, ok := rt.adopting[key]; ok {
+		rt.adoptMu.Unlock()
+		select {
+		case <-c.done:
+			return c.ok
+		case <-ctx.Done():
+			return false
+		}
+	}
+	c := &adoptCall{done: make(chan struct{})}
+	rt.adopting[key] = c
+	rt.adoptMu.Unlock()
+	defer func() {
+		rt.adoptMu.Lock()
+		delete(rt.adopting, key)
+		rt.adoptMu.Unlock()
+		close(c.done)
+	}()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, "http://"+target+"/v1/databases/"+key+"/adopt", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	c.ok = resp.StatusCode/100 == 2
+	if c.ok {
+		rt.mAdopt.Inc()
+	}
+	return c.ok
+}
+
+// hopHeaders are connection-scoped and never forwarded (RFC 9110 §7.6.1).
+// Content-Length is recomputed from the buffered body.
+var hopHeaders = []string{
+	"Connection", "Proxy-Connection", "Keep-Alive", "Proxy-Authenticate",
+	"Proxy-Authorization", "Te", "Trailer", "Transfer-Encoding", "Upgrade",
+	"Content-Length",
+}
+
+func copyHeaders(dst, src http.Header) {
+	for k, vv := range src {
+		for _, v := range vv {
+			dst.Add(k, v)
+		}
+	}
+	for _, h := range hopHeaders {
+		dst.Del(h)
+	}
+}

@@ -223,6 +223,18 @@ func (s *Server) handleDatabaseGet(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, databaseStatus(t.Snapshot()))
 }
 
+// handleDatabaseAdopt is the resharding hand-off trigger: the router calls
+// it when a shard 404s on a tenant the ring places there, asking the shard
+// to take over the tenant's persisted state from the shared store. 404
+// when no snapshot exists — the client then re-registers from scratch.
+func (s *Server) handleDatabaseAdopt(w http.ResponseWriter, r *http.Request) {
+	snap, err := s.catalog.AdoptStored(r.PathValue("name"))
+	if !s.writeCatalogError(w, err) {
+		return
+	}
+	writeJSON(w, databaseStatus(snap))
+}
+
 func (s *Server) handleDatabaseDelete(w http.ResponseWriter, r *http.Request) {
 	if !s.writeCatalogError(w, s.catalog.Deregister(r.PathValue("name"))) {
 		return

@@ -40,6 +40,11 @@ type Server struct {
 	workers  int
 	maxBatch int
 
+	// shardID, when set, is stamped on every response as X-NL2SQL-Shard so
+	// a proxying router (and its clients) can attribute work to the shard
+	// that actually served it.
+	shardID string
+
 	// resMu guards resCache, the memoized rendered results of finished
 	// jobs (ExecutionMatch re-executes SQL, so rendering once per job —
 	// not once per poll — matters).
@@ -90,6 +95,16 @@ func WithCatalog(c *catalog.Catalog) Option {
 
 // Catalog exposes the tenant registry (nil unless WithCatalog was passed).
 func (s *Server) Catalog() *catalog.Catalog { return s.catalog }
+
+// WithShardID marks this server as one shard of a routed topology: every
+// response carries an X-NL2SQL-Shard header naming the serving shard, so
+// hedged and retried requests stay attributable end to end.
+func WithShardID(id string) Option { return func(s *Server) { s.shardID = id } }
+
+// ShardHeader is the response header naming the shard that served a
+// request. The router echoes the upstream's value outward (or fills in its
+// own target when the shard predates attribution).
+const ShardHeader = "X-NL2SQL-Shard"
 
 // WithMetrics enables the observability layer on reg: every route is wrapped
 // in per-route/per-status request counters and latency histograms, a GET
@@ -184,6 +199,7 @@ func (s *Server) Handler() http.Handler {
 		handle("GET /v1/databases/{name}", s.handleDatabaseGet)
 		handle("PUT /v1/databases/{name}", s.handleDatabaseReplace)
 		handle("DELETE /v1/databases/{name}", s.handleDatabaseDelete)
+		handle("POST /v1/databases/{name}/adopt", s.handleDatabaseAdopt)
 	}
 	if s.jobs != nil {
 		handle("POST /v1/jobs", s.handleJobCreate)
@@ -198,6 +214,12 @@ func (s *Server) Handler() http.Handler {
 		w.WriteHeader(http.StatusOK)
 		w.Write([]byte("ok"))
 	})
+	if s.shardID != "" {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set(ShardHeader, s.shardID)
+			mux.ServeHTTP(w, r)
+		})
+	}
 	return mux
 }
 

@@ -1,0 +1,148 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/benchfix"
+)
+
+// sharedSnap builds a minimal valid snapshot for shared-mode tests (no
+// trained models needed — only addressing matters here).
+func sharedSnap(name string, version int, fp uint64) *TenantSnapshot {
+	return &TenantSnapshot{
+		Name:        name,
+		Version:     version,
+		Fingerprint: fp,
+		DB:          benchfix.TenantDB(name),
+	}
+}
+
+// TestSharedModePerInstanceWAL: two instances on one directory keep
+// disjoint WALs and recover only their own tenants.
+func TestSharedModePerInstanceWAL(t *testing.T) {
+	dir := t.TempDir()
+	s1 := openTestStore(t, dir, Options{Instance: "shard0"})
+	s2 := openTestStore(t, dir, Options{Instance: "shard1"})
+
+	if !s1.Shared() || !s2.Shared() {
+		t.Fatal("instances should report Shared()")
+	}
+	if err := s1.Append(testRecord(OpRegister, "alpha", 1, 0xa1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Append(testRecord(OpRegister, "beta", 1, 0xb2)); err != nil {
+		t.Fatal(err)
+	}
+	s1.Close()
+	s2.Close()
+
+	for _, f := range []string{"wal-shard0.log", "wal-shard1.log"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Errorf("expected per-instance WAL %s: %v", f, err)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, "wal.log")); !os.IsNotExist(err) {
+		t.Errorf("shared mode must not create the exclusive wal.log")
+	}
+
+	r1 := openTestStore(t, dir, Options{Instance: "shard0"}).Recovered()
+	r2 := openTestStore(t, dir, Options{Instance: "shard1"}).Recovered()
+	if len(r1) != 1 || r1[0].Key != "alpha" {
+		t.Errorf("shard0 recovered %v, want [alpha]", r1)
+	}
+	if len(r2) != 1 || r2[0].Key != "beta" {
+		t.Errorf("shard1 recovered %v, want [beta]", r2)
+	}
+}
+
+// TestSharedModePreservesForeignSnapshots: Open must not garbage-collect
+// snapshot files its own WAL does not address — they belong to other
+// shards. Interrupted .tmp leftovers are still swept.
+func TestSharedModePreservesForeignSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	s1 := openTestStore(t, dir, Options{Instance: "shard0"})
+	if err := s1.Append(testRecord(OpRegister, "alpha", 1, 0xa1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s1.SaveSnapshot("alpha", sharedSnap("alpha", 1, 0xa1)); err != nil {
+		t.Fatal(err)
+	}
+	s1.Close()
+
+	tmp := filepath.Join(dir, "snapshots", "junk-v1-0000000000000001.snap.tmp")
+	if err := os.WriteFile(tmp, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// A different instance opens the same directory with no history.
+	openTestStore(t, dir, Options{Instance: "shard1"})
+
+	snap := filepath.Join(dir, "snapshots", "alpha-v1-00000000000000a1.snap")
+	if _, err := os.Stat(snap); err != nil {
+		t.Fatalf("foreign snapshot was garbage-collected by another instance: %v", err)
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Error("interrupted .tmp leftover should still be swept in shared mode")
+	}
+
+	// Exclusive mode keeps the old behaviour: unaddressed files are orphans.
+	dir2 := t.TempDir()
+	sx := openTestStore(t, dir2, Options{})
+	if _, err := sx.SaveSnapshot("alpha", sharedSnap("alpha", 1, 0xa1)); err != nil {
+		t.Fatal(err)
+	}
+	sx.Close()
+	openTestStore(t, dir2, Options{})
+	if _, err := os.Stat(filepath.Join(dir2, "snapshots", "alpha-v1-00000000000000a1.snap")); !os.IsNotExist(err) {
+		t.Error("exclusive mode should collect snapshots its WAL does not address")
+	}
+}
+
+// TestFindSnapshot: the adoption scan locates the newest persisted version
+// of a key across instances.
+func TestFindSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	s1 := openTestStore(t, dir, Options{Instance: "shard0"})
+	s2 := openTestStore(t, dir, Options{Instance: "shard1"})
+
+	if _, _, ok := s2.FindSnapshot("alpha"); ok {
+		t.Fatal("FindSnapshot on empty directory should miss")
+	}
+	if _, err := s1.SaveSnapshot("alpha", sharedSnap("alpha", 1, 0xa1)); err != nil {
+		t.Fatal(err)
+	}
+	// A later version written by another instance: s2 has no files entry
+	// for alpha, so both versions coexist and the newest must win.
+	if _, err := s2.SaveSnapshot("alpha", sharedSnap("alpha", 3, 0xa3)); err != nil {
+		t.Fatal(err)
+	}
+
+	v, fp, ok := s2.FindSnapshot("alpha")
+	if !ok || v != 3 || fp != 0xa3 {
+		t.Fatalf("FindSnapshot = (v%d, %x, %v), want (v3, a3, true)", v, fp, ok)
+	}
+	// The address must load: the full adoption round trip.
+	snap, _, err := s2.LoadSnapshot("alpha", v, fp)
+	if err != nil {
+		t.Fatalf("LoadSnapshot of found address: %v", err)
+	}
+	if snap.Name != "alpha" || snap.Version != 3 {
+		t.Errorf("loaded snapshot = %s v%d, want alpha v3", snap.Name, snap.Version)
+	}
+}
+
+func TestInstanceNameValidation(t *testing.T) {
+	if _, err := Open(t.TempDir(), Options{Instance: "bad/name"}); err == nil {
+		t.Error("instance name with path separator should be rejected")
+	}
+	if _, err := Open(t.TempDir(), Options{Instance: "../escape"}); err == nil {
+		t.Error("instance name with traversal should be rejected")
+	}
+	s, err := Open(t.TempDir(), Options{Instance: "shard-0.a_b"})
+	if err != nil {
+		t.Fatalf("legal instance name rejected: %v", err)
+	}
+	s.Close()
+}

@@ -89,6 +89,16 @@ type Options struct {
 	Sync SyncMode
 	// SyncEvery is the flush period for SyncInterval (default 100ms).
 	SyncEvery time.Duration
+	// Instance, when set, puts the store in shared mode: several processes
+	// (shards behind a router) use one data directory, each appending to
+	// its own wal-<instance>.log while the snapshots/ directory is common
+	// ground. Shared mode changes two behaviours: Open no longer
+	// garbage-collects snapshot files its own WAL does not address (they
+	// belong to other shards), and deletes are reserved for explicit
+	// deregistration (see the catalog) — this is what lets a tenant's
+	// trained state be adopted by whichever shard the ring places it on
+	// after resharding, with no re-training.
+	Instance string
 }
 
 // Demo is one persisted demonstration (raw NL + canonical SQL text). Demos
@@ -179,6 +189,9 @@ func Open(dir string, opts Options) (*Store, error) {
 	if opts.SyncEvery <= 0 {
 		opts.SyncEvery = 100 * time.Millisecond
 	}
+	if err := validInstance(opts.Instance); err != nil {
+		return nil, err
+	}
 	if err := os.MkdirAll(filepath.Join(dir, "snapshots"), 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
@@ -241,7 +254,27 @@ func Open(dir string, opts Options) (*Store, error) {
 	return s, nil
 }
 
-func (s *Store) walPath() string { return filepath.Join(s.dir, "wal.log") }
+// validInstance restricts instance names to filename-safe characters —
+// the name lands verbatim in wal-<instance>.log.
+func validInstance(name string) error {
+	for _, r := range name {
+		if r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' || r == '-' || r == '_' || r == '.' {
+			continue
+		}
+		return fmt.Errorf("store: instance name %q: only letters, digits, '-', '_' and '.' allowed", name)
+	}
+	return nil
+}
+
+// Shared reports whether the store runs in shared (multi-instance) mode.
+func (s *Store) Shared() bool { return s.opts.Instance != "" }
+
+func (s *Store) walPath() string {
+	if s.opts.Instance != "" {
+		return filepath.Join(s.dir, "wal-"+s.opts.Instance+".log")
+	}
+	return filepath.Join(s.dir, "wal.log")
+}
 
 func (s *Store) snapPath(key string, version int, fp uint64) string {
 	return filepath.Join(s.dir, "snapshots", fmt.Sprintf("%s-v%d-%016x.snap", key, version, fp))
@@ -249,7 +282,9 @@ func (s *Store) snapPath(key string, version int, fp uint64) string {
 
 // scanSnapshots indexes the snapshot files addressed by live tenants and
 // deletes orphans (stale versions, deregistered tenants, leftover temp
-// files from an interrupted write).
+// files from an interrupted write). In shared mode a file this instance's
+// WAL does not address is another shard's tenant, not an orphan — only
+// interrupted .tmp leftovers are swept.
 func (s *Store) scanSnapshots(live map[string]*RecoveredTenant) error {
 	entries, err := os.ReadDir(filepath.Join(s.dir, "snapshots"))
 	if err != nil {
@@ -261,7 +296,9 @@ func (s *Store) scanSnapshots(live map[string]*RecoveredTenant) error {
 		key, version, fp, ok := parseSnapName(name)
 		t := live[key]
 		if !ok || t == nil || t.Version != version || t.Fingerprint != fp {
-			os.Remove(full)
+			if !s.Shared() || strings.HasSuffix(name, ".tmp") {
+				os.Remove(full)
+			}
 			continue
 		}
 		info, err := e.Info()
@@ -271,6 +308,29 @@ func (s *Store) scanSnapshots(live map[string]*RecoveredTenant) error {
 		s.files[key] = snapMeta{version: version, fp: fp, size: info.Size()}
 	}
 	return nil
+}
+
+// FindSnapshot scans the shared snapshots directory for the newest
+// persisted version of key, regardless of which instance wrote it. This is
+// the adoption path: after resharding, the shard a tenant now hashes to
+// has no WAL history for it, but the previous owner's snapshot file is
+// sitting in the common directory. Returns the address to pass to
+// LoadSnapshot.
+func (s *Store) FindSnapshot(key string) (version int, fp uint64, ok bool) {
+	entries, err := os.ReadDir(filepath.Join(s.dir, "snapshots"))
+	if err != nil {
+		return 0, 0, false
+	}
+	for _, e := range entries {
+		k, v, f, valid := parseSnapName(e.Name())
+		if !valid || k != key {
+			continue
+		}
+		if !ok || v > version {
+			version, fp, ok = v, f, true
+		}
+	}
+	return version, fp, ok
 }
 
 func parseSnapName(name string) (key string, version int, fp uint64, ok bool) {
