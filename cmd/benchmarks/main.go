@@ -18,7 +18,10 @@
 // its fixtures with internal/catalog's own benchmarks; "router" covers the
 // sharding tier — consistent-hash ring lookup/build, routing-key
 // extraction and the full proxy hop against a loopback shard
-// (BENCH_router.json artifact). -short skips the
+// (BENCH_router.json artifact); "trace" covers the request-tracing layer:
+// the recorded span lifecycle, the contractually allocation-free disabled
+// and unsampled paths, and W3C traceparent parse/inject
+// (BENCH_trace.json artifact). -short skips the
 // corpus-building benchmarks for CI latency; workload sizes are identical
 // either way so short and full numbers stay comparable.
 package main
@@ -47,6 +50,7 @@ import (
 	"repro/internal/spider"
 	"repro/internal/sqlexec"
 	"repro/internal/sqlir"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -57,7 +61,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "corpus and pipeline seed")
 		workers  = flag.Int("workers", 1, "translation worker pool size (>1 parallelizes; output is identical to -workers 1)")
 		jsonMode = flag.Bool("json", false, "emit micro-benchmark results as JSON and exit")
-		benchSet = flag.String("set", "executor", "with -json: benchmark set to run (executor|catalog|router)")
+		benchSet = flag.String("set", "executor", "with -json: benchmark set to run (executor|catalog|router|trace)")
 		short    = flag.Bool("short", false, "with -json: skip the corpus-building benchmarks (exec_ts_metric, engine_batch_translate); workload sizes are unchanged so numbers stay comparable")
 		rowEng   = flag.Bool("row-engine", false, "execute queries row-at-a-time instead of through the vectorized columnar engine (escape hatch / A-B baseline)")
 	)
@@ -76,8 +80,10 @@ func main() {
 			err = runCatalogBenchmarks()
 		case "router":
 			err = runRouterBenchmarks()
+		case "trace":
+			err = runTraceBenchmarks()
 		default:
-			err = fmt.Errorf("unknown -set %q (want executor, catalog or router)", *benchSet)
+			err = fmt.Errorf("unknown -set %q (want executor, catalog, router or trace)", *benchSet)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -449,6 +455,78 @@ func runRouterBenchmarks() error {
 		}},
 		{"proxy_roundtrip", roundtrip(front.URL)},
 		{"direct_roundtrip", roundtrip(backend.URL)},
+	}
+	return emitReport(false, benches)
+}
+
+// runTraceBenchmarks measures the request-tracing layer. The three *_noop /
+// *_unsampled benchmarks are the overhead a request pays when tracing is off
+// or the head-sampling coin says no — CI's benchdiff gate pins their
+// allocs/op at zero, the package's contractual promise. span_start_finish is
+// the recorded path: a root plus one child captured into the rings.
+// traceparent_parse and traceparent_inject are the per-hop propagation cost
+// the router pays on every proxied request.
+func runTraceBenchmarks() error {
+	bg := context.Background()
+	benches := []namedBench{
+		{"span_start_finish", func(b *testing.B) {
+			tr := trace.New(trace.Config{Service: "bench", Sample: 1, Slow: time.Hour, RecentCap: 64})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ctx, root := tr.StartRoot(bg, "bench", trace.SpanContext{})
+				_, sp := trace.StartSpan(ctx, "op")
+				sp.Finish()
+				root.Finish()
+			}
+		}},
+		{"span_disabled_noop", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_, sp := trace.StartSpan(bg, "op")
+				sp.SetAttrs(trace.Str("k", "v"))
+				sp.Finish()
+			}
+		}},
+		{"span_nil_tracer_noop", func(b *testing.B) {
+			var tr *trace.Tracer
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, sp := tr.StartRoot(bg, "op", trace.SpanContext{})
+				sp.Finish()
+			}
+		}},
+		{"span_unsampled_root", func(b *testing.B) {
+			tr := trace.New(trace.Config{Service: "bench", Sample: 0})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, sp := tr.StartRoot(bg, "op", trace.SpanContext{})
+				sp.Finish()
+			}
+		}},
+		{"traceparent_parse", func(b *testing.B) {
+			hdr := trace.NewSpanContext(true).Header()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, ok := trace.ParseTraceparent(hdr); !ok {
+					b.Fatal("parse failed")
+				}
+			}
+		}},
+		{"traceparent_inject", func(b *testing.B) {
+			tr := trace.New(trace.Config{Service: "bench", Sample: 1, Slow: time.Hour})
+			ctx, root := tr.StartRoot(bg, "bench", trace.SpanContext{})
+			defer root.Finish()
+			h := make(http.Header, 1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				trace.Inject(ctx, h)
+			}
+		}},
 	}
 	return emitReport(false, benches)
 }

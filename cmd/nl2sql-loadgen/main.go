@@ -45,6 +45,8 @@ func main() {
 		tenants    = flag.Int("tenants", 0, "register N synthetic tenant databases and drive the multi-tenant path")
 		seed       = flag.Int64("seed", 1, "request-mix seed")
 		timeout    = flag.Duration("timeout", 30*time.Second, "per-request timeout")
+		traceFrac  = flag.Float64("trace-sample", 0, "stamp this fraction of requests with a sampled W3C traceparent; their slowest trace IDs land in the report (0 disables)")
+		slowTraces = flag.Int("slow-traces", 5, "how many of the slowest sampled requests to report per op")
 		waitReady  = flag.Duration("wait-ready", 30*time.Second, "wait this long for /healthz before starting (0 = don't wait)")
 		out        = flag.String("out", "", "write the JSON report here instead of stdout")
 		maxErrRate = flag.Float64("max-error-rate", -1, "exit 2 when the aggregate error rate exceeds this (-1 disables)")
@@ -85,6 +87,8 @@ func main() {
 		Tenants:     *tenants,
 		Seed:        *seed,
 		Timeout:     *timeout,
+		TraceSample: *traceFrac,
+		SlowTraces:  *slowTraces,
 	})
 	if err != nil {
 		fatal(2, "%v", err)

@@ -3,7 +3,7 @@ package main
 import (
 	"context"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -23,6 +23,7 @@ import (
 	"repro/internal/spider"
 	"repro/internal/sqlexec"
 	"repro/internal/store"
+	"repro/internal/trace"
 )
 
 // shutdownSignals is the set main traps for graceful drain. Both SIGINT
@@ -67,6 +68,49 @@ type appConfig struct {
 	ProbeInterval time.Duration
 	HedgeAfter    time.Duration
 	Retries       int
+	// TraceSample is the head-sampling probability (negative disables the
+	// tracer entirely); TraceSlow is the tail-retention threshold — traces
+	// at least this slow survive ring churn alongside error traces.
+	TraceSample float64
+	TraceSlow   time.Duration
+	// LogLevel/LogFormat configure the process-wide slog default handler.
+	LogLevel  string
+	LogFormat string
+}
+
+// setupLogging installs the process-wide slog handler main's flags selected.
+// Everything downstream (service, router, catalog) logs through slog, so
+// this is the single switch between human-readable text and JSON lines.
+func setupLogging(level, format string) error {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return fmt.Errorf("bad -log-level %q: %v", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	var h slog.Handler
+	switch format {
+	case "", "text":
+		h = slog.NewTextHandler(os.Stderr, opts)
+	case "json":
+		h = slog.NewJSONHandler(os.Stderr, opts)
+	default:
+		return fmt.Errorf("bad -log-format %q: want text or json", format)
+	}
+	slog.SetDefault(slog.New(h))
+	return nil
+}
+
+// newTracer builds the process tracer from the trace flags; a negative
+// sample rate turns tracing off wholesale (the nil Tracer no-ops).
+func newTracer(cfg appConfig, service string) *trace.Tracer {
+	if cfg.TraceSample < 0 {
+		return nil
+	}
+	return trace.New(trace.Config{
+		Service: service,
+		Sample:  cfg.TraceSample,
+		Slow:    cfg.TraceSlow,
+	})
 }
 
 // app is the assembled server: the HTTP listener plus the subsystems whose
@@ -94,14 +138,23 @@ func newApp(cfg appConfig) (*app, error) {
 	start := time.Now()
 	if cfg.RowEngine {
 		sqlexec.SetDefaultRowEngine(true)
-		log.Printf("row-at-a-time execution engine selected (-row-engine)")
+		slog.Info("row-at-a-time execution engine selected (-row-engine)")
 	}
-	log.Printf("generating corpus (scale=%.2f) and training pipeline...", cfg.Scale)
+	slog.Info("generating corpus and training pipeline", "scale", cfg.Scale, "seed", cfg.Seed)
 	corpus := spider.GenerateSmall(cfg.Seed, cfg.Scale)
 	base := llm.Client(llm.NewSim(llm.ChatGPT))
 	client := base
 	reg := metrics.NewRegistry()
+	metrics.RegisterProcess(reg)
+	svcName := "nl2sql-server"
+	if cfg.ShardID != "" {
+		svcName = "shard:" + cfg.ShardID
+	}
+	tr := newTracer(cfg, svcName)
 	opts := []service.Option{service.WithMetrics(reg), service.WithWorkers(cfg.Workers)}
+	if tr != nil {
+		opts = append(opts, service.WithTracer(tr))
+	}
 	if cfg.CacheCap > 0 {
 		cache := llm.NewCache(client, cfg.CacheCap)
 		client = cache
@@ -136,8 +189,9 @@ func newApp(cfg appConfig) (*app, error) {
 				return nil, err
 			}
 			ss := st.Stats()
-			log.Printf("tenant store %s: recovered %d tenants from %d WAL records in %.1fms (%d snapshot files, %d bytes)",
-				cfg.DataDir, ss.Recovered, ss.WALReplayed, ss.RecoveryMs, ss.Snapshots, ss.SnapshotB)
+			slog.Info("tenant store recovered", "dir", cfg.DataDir,
+				"tenants", ss.Recovered, "wal_records", ss.WALReplayed,
+				"recovery_ms", ss.RecoveryMs, "snapshots", ss.Snapshots, "snapshot_bytes", ss.SnapshotB)
 		}
 		cat, err = catalog.New(catalog.Config{
 			Client:       base, // tenants wrap the raw backend in their own caches
@@ -155,21 +209,21 @@ func newApp(cfg appConfig) (*app, error) {
 			return nil, err
 		}
 		opts = append(opts, service.WithCatalog(cat))
-		log.Printf("catalog ready: fallback trained on %d bootstrap demonstrations, cap %d tenants", len(boot), cfg.MaxTenants)
+		slog.Info("catalog ready", "bootstrap_demos", len(boot), "max_tenants", cfg.MaxTenants)
 	}
 	if cfg.ShardID != "" {
 		opts = append(opts, service.WithShardID(cfg.ShardID))
 	}
 	pipeline := core.New(corpus.Train.Examples, client, core.DefaultConfig())
 	svc := service.New(pipeline, corpus, opts...)
-	log.Printf("ready in %v; %d dev tasks over %d databases; %d job runners, queue %d",
-		time.Since(start).Round(time.Millisecond), len(corpus.Dev.Examples), len(corpus.Dev.Databases),
-		cfg.JobRunners, cfg.JobQueue)
+	slog.Info("pipeline ready", "startup", time.Since(start).Round(time.Millisecond).String(),
+		"dev_tasks", len(corpus.Dev.Examples), "databases", len(corpus.Dev.Databases),
+		"job_runners", cfg.JobRunners, "job_queue", cfg.JobQueue)
 
 	handler := svc.Handler()
 	if cfg.Pprof {
 		handler = withPprof(handler)
-		log.Printf("pprof debug endpoints enabled under /debug/pprof/")
+		slog.Info("pprof debug endpoints enabled under /debug/pprof/")
 	}
 	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
@@ -216,12 +270,14 @@ func newRouterApp(cfg appConfig) (*app, error) {
 		}
 	}
 	reg := metrics.NewRegistry()
+	metrics.RegisterProcess(reg)
 	rt, err := router.New(router.Config{
 		Shards:        shards,
 		ProbeInterval: cfg.ProbeInterval,
 		HedgeAfter:    cfg.HedgeAfter,
 		Retries:       cfg.Retries,
 		Registry:      reg,
+		Tracer:        newTracer(cfg, "router"),
 	})
 	if err != nil {
 		return nil, err
@@ -235,8 +291,8 @@ func newRouterApp(cfg appConfig) (*app, error) {
 		rt.Close()
 		return nil, err
 	}
-	log.Printf("router ready: %d shards %v, probe interval %v, hedge-after %v",
-		len(shards), shards, cfg.ProbeInterval, cfg.HedgeAfter)
+	slog.Info("router ready", "shards", strings.Join(shards, ","),
+		"probe_interval", cfg.ProbeInterval.String(), "hedge_after", cfg.HedgeAfter.String())
 	return &app{
 		cfg: cfg,
 		rt:  rt,
@@ -275,7 +331,7 @@ func (a *app) addr() string { return a.ln.Addr().String() }
 func (a *app) run(ctx context.Context) error {
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("listening on %s", a.addr())
+		slog.Info("listening", "addr", a.addr())
 		close(a.started)
 		errc <- a.srv.Serve(a.ln)
 	}()
@@ -286,18 +342,18 @@ func (a *app) run(ctx context.Context) error {
 	case <-ctx.Done():
 	}
 
-	log.Printf("signal received; draining (budget %v per stage)...", a.cfg.DrainTimeout)
+	slog.Info("signal received; draining", "stage_budget", a.cfg.DrainTimeout.String())
 	httpCtx, cancelHTTP := context.WithTimeout(context.Background(), a.cfg.DrainTimeout)
 	defer cancelHTTP()
 	if err := a.srv.Shutdown(httpCtx); err != nil {
-		log.Printf("http shutdown: %v", err)
+		slog.Warn("http shutdown", "err", err)
 	}
 	if a.rt != nil {
 		// Router mode: in-flight proxied requests were covered by the HTTP
 		// drain above; stopping the probe loop and the pooled transports is
 		// all that remains.
 		a.rt.Close()
-		log.Printf("router drained")
+		slog.Info("router drained")
 		return nil
 	}
 	// The job drain gets its own budget: a slow in-flight HTTP request must
@@ -307,22 +363,22 @@ func (a *app) run(ctx context.Context) error {
 	var drainErr error
 	if err := a.svc.Shutdown(jobCtx); err != nil {
 		drainErr = err
-		log.Printf("job drain cut short: %v (partial results checkpointed)", err)
+		slog.Warn("job drain cut short; partial results checkpointed", "err", err)
 	} else {
-		log.Printf("drained cleanly")
+		slog.Info("drained cleanly")
 	}
 	if a.cat != nil {
 		catCtx, cancelCat := context.WithTimeout(context.Background(), a.cfg.DrainTimeout)
 		defer cancelCat()
 		if err := a.cat.Close(catCtx); err != nil {
-			log.Printf("catalog drain cut short: %v", err)
+			slog.Warn("catalog drain cut short", "err", err)
 		}
 	}
 	// The store closes last: the catalog appends to the WAL until its build
 	// manager drains.
 	if a.st != nil {
 		if err := a.st.Close(); err != nil {
-			log.Printf("store close: %v", err)
+			slog.Warn("store close", "err", err)
 		}
 	}
 	return drainErr

@@ -68,18 +68,21 @@ func TestCrashRecovery(t *testing.T) {
 		procMu.Lock()
 		procs = append(procs, cmd)
 		procMu.Unlock()
-		// The server logs "listening on <addr>" once the listener is bound;
-		// scan for it, then keep draining so the child never blocks on a
-		// full stderr pipe.
+		// The server logs msg=listening addr=<addr> once the listener is
+		// bound; scan for it, then keep draining so the child never blocks
+		// on a full stderr pipe.
 		addrc := make(chan string, 1)
 		go func() {
 			sc := bufio.NewScanner(stderr)
 			for sc.Scan() {
 				line := sc.Text()
 				t.Log(line)
-				if i := strings.Index(line, "listening on "); i >= 0 {
+				if !strings.Contains(line, "msg=listening") {
+					continue
+				}
+				if i := strings.Index(line, "addr="); i >= 0 {
 					select {
-					case addrc <- strings.TrimSpace(line[i+len("listening on "):]):
+					case addrc <- strings.TrimSpace(line[i+len("addr="):]):
 					default:
 					}
 				}

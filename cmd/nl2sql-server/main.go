@@ -19,9 +19,18 @@
 //	curl -X POST localhost:8080/v1/translate -d '{"database":"shop","question":"..."}'
 //
 // Observability: every route records per-status request counts and a latency
-// histogram, exported with the tenant/job/cache instruments on /v1/metrics;
-// -pprof additionally mounts the runtime profiling endpoints under
-// /debug/pprof/.
+// histogram, exported with the tenant/job/cache and process instruments on
+// /v1/metrics; -pprof additionally mounts the runtime profiling endpoints
+// under /debug/pprof/. Requests are traced end to end (HTTP root span,
+// catalog, pipeline stages, LLM calls, SQL execution, jobs) under W3C
+// traceparent propagation — -trace-sample sets the head-sampling rate,
+// -trace-slow the tail-retention threshold, and error traces are always
+// kept. Logs go through log/slog (-log-level, -log-format text|json) with
+// trace_id/tenant/shard fields on request-path warnings.
+//
+//	curl 'localhost:8080/v1/traces?min_ms=250'       # retained slow traces
+//	curl localhost:8080/v1/traces/<trace_id>         # full span tree
+//	curl -H 'traceparent: 00-<32hex>-<16hex>-01' ... # client-forced sampling
 //
 // On SIGINT/SIGTERM the server stops accepting connections, then drains the
 // job subsystem: queued jobs are cancelled, running jobs get -drain-timeout
@@ -41,6 +50,8 @@ import (
 	"context"
 	"flag"
 	"log"
+	"log/slog"
+	"os"
 	"os/signal"
 	"time"
 )
@@ -71,15 +82,24 @@ func main() {
 	flag.DurationVar(&cfg.ProbeInterval, "replication-probe-interval", time.Second, "router health-probe cadence; a shard is ejected after 2 failed probes and readmitted after 1 pass")
 	flag.DurationVar(&cfg.HedgeAfter, "hedge-after", 0, "router tail-hedging delay before duplicating a read to the replica successor (0 adapts to the observed p95, negative disables)")
 	flag.IntVar(&cfg.Retries, "retries", 2, "router retry budget: extra attempts against other shards after a transport error (negative disables)")
+	flag.Float64Var(&cfg.TraceSample, "trace-sample", 1, "head-sampling probability for request traces (1 traces every request, 0 only requests arriving with a sampled traceparent, negative disables tracing entirely)")
+	flag.DurationVar(&cfg.TraceSlow, "trace-slow", 250*time.Millisecond, "requests slower than this are retained in the slow-trace ring regardless of churn (error traces always are)")
+	flag.StringVar(&cfg.LogLevel, "log-level", "info", "minimum structured-log level: debug, info, warn, error")
+	flag.StringVar(&cfg.LogFormat, "log-format", "text", "structured-log encoding: text or json")
 	flag.Parse()
 
+	if err := setupLogging(cfg.LogLevel, cfg.LogFormat); err != nil {
+		log.Fatal(err)
+	}
 	a, err := newApp(cfg)
 	if err != nil {
-		log.Fatal(err)
+		slog.Error("startup failed", "err", err)
+		os.Exit(1)
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), shutdownSignals...)
 	defer stop()
 	if err := a.run(ctx); err != nil {
-		log.Fatal(err)
+		slog.Error("server exited", "err", err)
+		os.Exit(1)
 	}
 }

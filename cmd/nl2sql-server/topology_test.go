@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/router"
+	"repro/internal/trace"
 )
 
 // reserveAddr grabs a free port and releases it so a shard can be handed a
@@ -260,6 +261,12 @@ func TestShardedTopology(t *testing.T) {
 		sqlBefore[name] = sql
 	}
 
+	// One trace must span processes: a request stamped with a sampled
+	// traceparent produces router spans (proxy, proxy.attempt) and the
+	// answering shard's spans under the same trace ID, and the router's
+	// /v1/traces/{id} returns them merged into a single tree.
+	assertCrossProcessTrace(t, c, all[0])
+
 	// Kill shard1 gracefully mid-run. Every tenant — including those placed
 	// on the dead shard — must keep translating with zero failures: retries
 	// route around the corpse and the adoption hand-off revives its tenants
@@ -311,6 +318,93 @@ func TestShardedTopology(t *testing.T) {
 	}
 	if c.non2xx != 0 {
 		t.Fatalf("%d non-2xx responses across kill + rejoin, want 0", c.non2xx)
+	}
+}
+
+// assertCrossProcessTrace drives one tenant translation with an edge-minted
+// sampled traceparent through the router, then asserts the router's merged
+// span tree carries both tiers: its own proxy/attempt spans and the shard's
+// server-side spans, all under the client's trace ID. The topology shards run
+// with head-sampling 0, so recording here proves the edge decision propagates
+// across process boundaries.
+func assertCrossProcessTrace(t *testing.T, c *topoClient, tenant string) {
+	t.Helper()
+	sc := trace.NewSpanContext(true)
+	body, _ := json.Marshal(map[string]any{"database": tenant, "question": topoQuestion})
+	req, err := http.NewRequest(http.MethodPost, c.base+"/v1/translate", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(trace.TraceparentHeader, sc.Header())
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("traced translate: status %d", resp.StatusCode)
+	}
+	id := sc.TraceID.String()
+	if got := resp.Header.Get(trace.IDHeader); got != id {
+		t.Fatalf("%s = %q, want the edge trace id %q", trace.IDHeader, got, id)
+	}
+
+	// Span capture commits in deferred middleware after the response is on
+	// the wire; poll briefly until both tiers appear in the merged tree.
+	deadline := time.Now().Add(5 * time.Second)
+	var tree trace.TraceJSON
+	for {
+		r, err := http.Get(c.base + "/v1/traces/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := r.StatusCode == http.StatusOK
+		if found {
+			if err := json.NewDecoder(r.Body).Decode(&tree); err != nil {
+				t.Fatal(err)
+			}
+		}
+		io.Copy(io.Discard, r.Body)
+		r.Body.Close()
+		services := map[string]int{}
+		for _, sp := range tree.Spans {
+			services[sp.Service]++
+		}
+		var shardSpans int
+		for svc, n := range services {
+			if strings.HasPrefix(svc, "shard:") {
+				shardSpans += n
+			}
+		}
+		if found && services["router"] >= 2 && shardSpans >= 1 {
+			if tree.TraceID != id {
+				t.Fatalf("merged tree is trace %q, want %q", tree.TraceID, id)
+			}
+			// The shard's root span must hang off a router attempt span —
+			// the parent link is what makes this one tree, not two.
+			attempts := map[string]bool{}
+			for _, sp := range tree.Spans {
+				if sp.Service == "router" && sp.Name == "proxy.attempt" {
+					attempts[sp.SpanID] = true
+				}
+			}
+			stitched := false
+			for _, sp := range tree.Spans {
+				if strings.HasPrefix(sp.Service, "shard:") && attempts[sp.ParentID] {
+					stitched = true
+				}
+			}
+			if !stitched {
+				t.Fatalf("no shard span parents under a router attempt span: %+v", tree.Spans)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("trace %s never showed both tiers (found=%v, services=%v)", id, found, services)
+		}
+		time.Sleep(25 * time.Millisecond)
 	}
 }
 

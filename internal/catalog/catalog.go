@@ -28,6 +28,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sort"
 	"strings"
 	"sync"
@@ -465,6 +466,7 @@ func (c *Catalog) register(reg Registration, replace bool) (*Snapshot, error) {
 	}
 	c.enforceBudgetLocked(t)
 	c.mu.Unlock()
+	slog.Info("tenant registered", "tenant", key, "version", version, "replaced", old != nil)
 	return warming, nil
 }
 
@@ -514,6 +516,7 @@ func (c *Catalog) buildFn(t *Tenant, gen int64, warming *Snapshot, client llm.Cl
 		t.snap.Store(&ready)
 		c.counters.BuildsDone++
 		c.enforceBudgetLocked(t)
+		slog.Info("tenant build complete", "tenant", t.key, "version", ready.Version)
 		return nil
 	}
 }
@@ -525,6 +528,7 @@ func (c *Catalog) buildFailed(err error) error {
 	c.mu.Lock()
 	c.counters.BuildsFailed++
 	c.mu.Unlock()
+	slog.Warn("tenant build failed", "err", err)
 	return err
 }
 
@@ -625,6 +629,7 @@ func (c *Catalog) evictOverCapLocked(keep *Tenant) {
 	victims := candidates[:over]
 	for _, t := range victims {
 		c.retireTenantLocked(t, store.OpEvict)
+		slog.Info("tenant evicted over capacity", "tenant", t.key)
 	}
 	c.swapTenants(func(m tenantMap) {
 		for _, t := range victims {

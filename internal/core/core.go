@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 
 	"repro/internal/adaption"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/selection"
 	"repro/internal/spider"
 	"repro/internal/sqlir"
+	"repro/internal/trace"
 )
 
 // Translation is the outcome of translating one NL2SQL task.
@@ -31,6 +33,24 @@ type Translation struct {
 type Translator interface {
 	Name() string
 	Translate(e *spider.Example) Translation
+}
+
+// ContextTranslator is the optional context-aware extension of Translator:
+// implementations thread the request context through for tracing. Callers
+// that hold a context (the engine, the service) prefer it when available;
+// TranslateContext with a spanless context must behave exactly like
+// Translate.
+type ContextTranslator interface {
+	Translator
+	TranslateContext(ctx context.Context, e *spider.Example) Translation
+}
+
+// translateCtx dispatches to TranslateContext when tr implements it.
+func translateCtx(ctx context.Context, tr Translator, e *spider.Example) Translation {
+	if ct, ok := tr.(ContextTranslator); ok {
+		return ct.TranslateContext(ctx, e)
+	}
+	return tr.Translate(e)
 }
 
 // Config parameterizes the PURPLE pipeline. The zero value is not useful;
@@ -157,16 +177,30 @@ func (p *Pipeline) Hierarchy() *automaton.Hierarchy { return p.hier }
 
 // Translate runs the full pipeline on one task.
 func (p *Pipeline) Translate(e *spider.Example) Translation {
+	return p.TranslateContext(context.Background(), e)
+}
+
+// TranslateContext runs the full pipeline on one task, opening a child span
+// per stage when ctx carries a recorded trace. With a spanless context every
+// span call is a nil no-op, so the output — and the hot path's allocation
+// profile — is identical to Translate.
+func (p *Pipeline) TranslateContext(ctx context.Context, e *spider.Example) Translation {
+	ctx, tsp := trace.StartSpan(ctx, "pipeline.translate")
+	tsp.SetAttrs(trace.Int("task_id", int64(e.ID)), trace.Str("db", e.DB.Name))
+
 	rng := rand.New(rand.NewSource(p.cfg.Seed*1_000_003 + int64(e.ID)))
 
 	// Step 1: schema pruning.
 	taskDB := e.DB
 	if p.cfg.UseSchemaPruning {
+		_, sp := trace.StartSpan(ctx, "pipeline.prune")
 		pcfg := classifier.PruneConfig{
 			TauP: p.cfg.TauP, TauN: p.cfg.TauN,
 			UseSteiner: p.cfg.UseSteinerTree, TopK1: 4, TopK2: 5,
 		}
 		taskDB = classifier.Prune(p.clf, e.NL, taskDB, pcfg).DB
+		sp.SetAttrs(trace.Int("tables_kept", int64(len(taskDB.Tables))))
+		sp.Finish()
 	}
 
 	// Step 2: skeleton prediction (or the oracle skeleton ablation).
@@ -174,6 +208,7 @@ func (p *Pipeline) Translate(e *spider.Example) Translation {
 	if p.cfg.OracleSkeleton {
 		preds = [][]string{sqlir.Skeleton(e.Gold)}
 	} else {
+		_, sp := trace.StartSpan(ctx, "pipeline.predict")
 		k := p.cfg.TopK
 		if k <= 0 {
 			k = 3
@@ -181,9 +216,12 @@ func (p *Pipeline) Translate(e *spider.Example) Translation {
 		for _, pr := range p.pred.Predict(e.NL, k) {
 			preds = append(preds, pr.Tokens)
 		}
+		sp.SetAttrs(trace.Int("skeletons", int64(len(preds))))
+		sp.Finish()
 	}
 
 	// Step 3: demonstration selection.
+	_, ssp := trace.StartSpan(ctx, "pipeline.select")
 	var order []int
 	if p.cfg.UseSelection {
 		order = selection.Select(p.hier, preds, selection.Options{
@@ -200,6 +238,8 @@ func (p *Pipeline) Translate(e *spider.Example) Translation {
 	for _, i := range order {
 		demos = append(demos, p.demos[i])
 	}
+	ssp.SetAttrs(trace.Int("candidates", int64(len(demos))))
+	ssp.Finish()
 
 	// Step 4: prompt assembly and LLM inference.
 	built := prompt.Build("", demos, taskDB, e.NL, p.cfg.PromptTokens)
@@ -207,13 +247,21 @@ func (p *Pipeline) Translate(e *spider.Example) Translation {
 	if n <= 0 {
 		n = 1
 	}
+	lctx, lsp := trace.StartSpan(ctx, "llm.complete")
 	resp := p.client.Complete(llm.Request{
 		Prompt:         built.Text,
 		N:              n,
 		Task:           e,
 		SchemaInPrompt: taskDB,
 		Seed:           p.cfg.Seed*7_000_003 + int64(e.ID),
+		Ctx:            lctx,
 	})
+	lsp.SetAttrs(
+		trace.Int("input_tokens", int64(resp.InputTokens)),
+		trace.Int("output_tokens", int64(resp.OutputTokens)),
+		trace.Int("completions", int64(len(resp.SQLs))),
+	)
+	lsp.Finish()
 
 	// Step 5: database adaption + execution consistency.
 	out := Translation{
@@ -221,8 +269,13 @@ func (p *Pipeline) Translate(e *spider.Example) Translation {
 		OutputTokens: resp.OutputTokens,
 		DemosUsed:    built.DemosUsed,
 	}
+	defer tsp.Finish()
 	if p.cfg.UseAdaption {
-		if sql, ok := adaption.Vote(e.DB, resp.SQLs, true); ok {
+		_, asp := trace.StartSpan(ctx, "pipeline.adapt")
+		sql, ok := adaption.Vote(e.DB, resp.SQLs, true)
+		asp.SetAttrs(trace.Bool("vote_ok", ok))
+		asp.Finish()
+		if ok {
 			out.SQL = sql
 			return out
 		}

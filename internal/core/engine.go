@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 
 	"repro/internal/spider"
@@ -75,13 +76,16 @@ func (g *Engine) TranslateBatchProgress(ctx context.Context, examples []*spider.
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Label the worker goroutine so CPU profiles attribute batch
+			// translation time to the engine pool.
+			pprof.SetGoroutineLabels(pprof.WithLabels(ctx, pprof.Labels("worker", "core.engine")))
 			for i := range jobs {
 				select {
 				case <-ctx.Done():
 					continue // drain remaining indices without translating
 				default:
 				}
-				out[i] = g.tr.Translate(examples[i])
+				out[i] = translateCtx(ctx, g.tr, examples[i])
 				done[i] = true
 				if progress != nil {
 					progressMu.Lock()

@@ -16,12 +16,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/pprof"
 	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/spider"
+	"repro/internal/trace"
 )
 
 // State is a job's lifecycle phase.
@@ -111,6 +113,11 @@ type Request struct {
 	// work — e.g. the catalog's model builds — rides the manager's admission
 	// queue, runner pool, TTL GC and drain.
 	Run func(ctx context.Context) error
+	// Trace optionally links the job to the submitting request's trace: the
+	// runner records a queue-wait span (submission → first run) and a run
+	// span, both parented under the submitter's span, even though they
+	// finish long after the HTTP response went out. The zero Link is inert.
+	Trace trace.Link
 }
 
 // Status is a point-in-time snapshot of a job, safe to retain.
@@ -155,6 +162,7 @@ type job struct {
 	workers int
 	tr      core.Translator // per-job override; nil = manager default
 	runFn   func(ctx context.Context) error
+	link    trace.Link
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -305,6 +313,7 @@ func (m *Manager) Submit(req Request) (Status, error) {
 		workers: workers,
 		tr:      req.Translator,
 		runFn:   req.Run,
+		link:    req.Trace,
 		ctx:     ctx,
 		cancel:  cancel,
 		state:   StateQueued,
@@ -425,34 +434,53 @@ func (m *Manager) run(j *job) {
 	j.state = StateRunning
 	j.started = time.Now()
 	j.done = make([]bool, len(j.ex))
+	created, started := j.created, j.started
 	j.mu.Unlock()
 
 	m.mu.Lock()
 	m.running++
 	m.mu.Unlock()
 
+	// Linked jobs record their lifecycle into the submitter's trace: the
+	// queue-wait span covers admission → first run, the run span the actual
+	// execution. Both land after the HTTP root finished; a slow or failed
+	// run still promotes the trace into the retained ring.
+	runCtx := j.ctx
+	var runSpan *trace.Span
+	if j.link.Active() {
+		qs := j.link.Span("jobs.queue_wait", created)
+		qs.SetAttrs(trace.Str("job_id", j.id))
+		qs.FinishAt(started)
+		runSpan = j.link.Span("jobs.run", started)
+		runSpan.SetAttrs(trace.Str("job_id", j.id), trace.Int("examples", int64(len(j.ex))))
+		runCtx = trace.ContextWithSpan(runCtx, runSpan)
+	}
+
 	var (
 		results []core.Translation
 		stats   core.BatchStats
 		err     error
 	)
-	if j.runFn != nil {
-		err = j.runFn(j.ctx)
-	} else {
-		tr := m.tr
-		if j.tr != nil {
-			tr = j.tr
+	// Label the runner for CPU profiles while this job executes.
+	pprof.Do(runCtx, pprof.Labels("job", j.id), func(ctx context.Context) {
+		if j.runFn != nil {
+			err = j.runFn(ctx)
+		} else {
+			tr := m.tr
+			if j.tr != nil {
+				tr = j.tr
+			}
+			eng := core.NewEngine(tr, j.workers)
+			results, stats, err = eng.TranslateBatchProgress(ctx, j.ex,
+				func(i int, _ core.Translation, sofar core.BatchStats) {
+					j.mu.Lock()
+					j.completed = sofar.Completed
+					j.stats = sofar
+					j.done[i] = true
+					j.mu.Unlock()
+				})
 		}
-		eng := core.NewEngine(tr, j.workers)
-		results, stats, err = eng.TranslateBatchProgress(j.ctx, j.ex,
-			func(i int, _ core.Translation, sofar core.BatchStats) {
-				j.mu.Lock()
-				j.completed = sofar.Completed
-				j.stats = sofar
-				j.done[i] = true
-				j.mu.Unlock()
-			})
-	}
+	})
 
 	j.mu.Lock()
 	j.results = results
@@ -470,7 +498,14 @@ func (m *Manager) run(j *job) {
 		j.err = err.Error()
 	}
 	final := j.state
+	finished := j.finished
 	j.mu.Unlock()
+
+	if runSpan != nil {
+		runSpan.SetAttrs(trace.Str("state", string(final)), trace.Int("completed", int64(stats.Completed)))
+		runSpan.SetError(final == StateFailed)
+		runSpan.FinishAt(finished)
+	}
 
 	m.mu.Lock()
 	m.running--

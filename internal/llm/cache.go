@@ -6,6 +6,8 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/trace"
 )
 
 // Cache is a caching Client middleware: a sharded, mutex-striped LRU keyed
@@ -107,6 +109,7 @@ func (c *Cache) Complete(req Request) Response {
 			resp := e.resp
 			shard.mu.Unlock()
 			c.hits.Add(1)
+			markCacheHit(req, true)
 			return copyResponse(resp)
 		}
 		// In flight: wait for the leader, then share its result.
@@ -114,6 +117,7 @@ func (c *Cache) Complete(req Request) Response {
 		shard.mu.Unlock()
 		<-done
 		c.hits.Add(1)
+		markCacheHit(req, true)
 		shard.mu.Lock()
 		resp := e.resp
 		shard.mu.Unlock()
@@ -124,6 +128,7 @@ func (c *Cache) Complete(req Request) Response {
 	shard.entries[key] = e
 	shard.mu.Unlock()
 	c.misses.Add(1)
+	markCacheHit(req, false)
 
 	// The in-flight entry must always resolve, even if the backend panics:
 	// otherwise every future request for this key parks forever on e.done.
@@ -196,6 +201,16 @@ func (c *Cache) requestKey(req Request) uint64 {
 		write(req.SchemaInPrompt.Name, strconv.Itoa(len(req.SchemaInPrompt.Tables)))
 	}
 	return h.Sum64()
+}
+
+// markCacheHit annotates the request's active trace span (the pipeline's
+// llm.complete span) with the cache outcome. Free when the request carries no
+// context or the trace is unsampled.
+func markCacheHit(req Request, hit bool) {
+	if req.Ctx == nil {
+		return
+	}
+	trace.FromContext(req.Ctx).SetAttrs(trace.Bool("cache_hit", hit))
 }
 
 // copyResponse clones the SQL slice so callers cannot alias (and mutate) the

@@ -17,6 +17,8 @@
 package llm
 
 import (
+	"context"
+
 	"repro/internal/schema"
 	"repro/internal/spider"
 )
@@ -42,6 +44,10 @@ type Request struct {
 	// Seed decorrelates sampling across pipeline runs; pipelines derive it
 	// from the example ID so whole-benchmark runs are reproducible.
 	Seed int64
+	// Ctx optionally carries the request context for observability (span
+	// annotations). It never influences the Response and is excluded from
+	// cache keys; a nil Ctx is valid.
+	Ctx context.Context
 }
 
 // Response carries the sampled SQL strings plus token accounting.

@@ -38,6 +38,7 @@ import (
 
 	"repro/internal/benchfmt"
 	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 // Buckets for request latency in seconds: finer than metrics.DefBuckets at
@@ -132,6 +133,14 @@ type Config struct {
 	Seed int64
 	// Timeout is the per-request client timeout (default 30s).
 	Timeout time.Duration
+	// TraceSample, when > 0, stamps that fraction of requests with a
+	// sampled W3C traceparent. The edge decision wins server-side: stamped
+	// requests are always recorded (whatever the server's own -trace-sample),
+	// and their trace IDs feed the per-op slow-trace report rows.
+	TraceSample float64
+	// SlowTraces is how many of the slowest sampled requests to report per
+	// op (default 5).
+	SlowTraces int
 	// Client overrides the HTTP client (tests); when nil the process-wide
 	// pooled client is used, sized to the run's in-flight bound.
 	Client *http.Client
@@ -209,6 +218,9 @@ func (c Config) withDefaults() (Config, error) {
 	if c.Timeout <= 0 {
 		c.Timeout = 30 * time.Second
 	}
+	if c.SlowTraces <= 0 {
+		c.SlowTraces = 5
+	}
 	if c.Client == nil {
 		// The in-flight bound: closed loop = the worker count, open loop =
 		// whatever MaxInFlight admits (dispatch goroutines, not workers,
@@ -246,6 +258,47 @@ type OpResult struct {
 	ThroughputRPS float64   `json:"throughput_rps"`
 	ErrorRate     float64   `json:"error_rate"`
 	LatencyMs     LatencyMs `json:"latency_ms"`
+	// SlowTraces lists the op's slowest traceparent-stamped requests
+	// (present only when Config.TraceSample > 0): the IDs to feed straight
+	// into GET /v1/traces/{id} for the full cross-process span tree.
+	SlowTraces []SlowTrace `json:"slow_traces,omitempty"`
+}
+
+// SlowTrace pairs a sampled request's trace ID with its client-side latency.
+type SlowTrace struct {
+	TraceID    string  `json:"trace_id"`
+	DurationMs float64 `json:"duration_ms"`
+}
+
+// slowTracker keeps the n slowest sampled requests, sorted slowest-first.
+// A plain locked insertion keeps it simple: it only runs for sampled
+// requests and n is small.
+type slowTracker struct {
+	mu  sync.Mutex
+	n   int
+	top []SlowTrace
+}
+
+func (s *slowTracker) observe(id string, d time.Duration) {
+	ms := float64(d) / 1e6
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.top) >= s.n && ms <= s.top[len(s.top)-1].DurationMs {
+		return
+	}
+	i := sort.Search(len(s.top), func(i int) bool { return s.top[i].DurationMs < ms })
+	s.top = append(s.top, SlowTrace{})
+	copy(s.top[i+1:], s.top[i:])
+	s.top[i] = SlowTrace{TraceID: id, DurationMs: ms}
+	if len(s.top) > s.n {
+		s.top = s.top[:s.n]
+	}
+}
+
+func (s *slowTracker) snapshot() []SlowTrace {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]SlowTrace(nil), s.top...)
 }
 
 // Report is the run's machine-readable result, in the BENCH_*.json schema
@@ -282,6 +335,7 @@ type opStats struct {
 	non2xx   atomic.Int64
 	dropped  atomic.Int64
 	hist     *metrics.Histogram
+	slow     *slowTracker
 }
 
 type runner struct {
@@ -325,7 +379,11 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		if w <= 0 {
 			continue
 		}
-		r.stats[name] = &opStats{name: name, hist: metrics.NewHistogram(latencyBuckets)}
+		r.stats[name] = &opStats{
+			name: name,
+			hist: metrics.NewHistogram(latencyBuckets),
+			slow: &slowTracker{n: cfg.SlowTraces},
+		}
 		for i := 0; i < w; i++ {
 			r.ops = append(r.ops, name)
 		}
@@ -413,14 +471,27 @@ func (r *runner) openLoop(ctx context.Context) {
 	}
 }
 
+// traceKey carries a pre-rendered traceparent header value from do to post
+// through the context — the op helpers between them stay trace-unaware.
+type traceKey struct{}
+
 // do issues one request of the given weighted-op index and records it.
 func (r *runner) do(ctx context.Context, opIdx int, rng *rand.Rand) {
 	name := r.ops[opIdx]
 	st := r.stats[name]
 	var (
-		status int
-		err    error
+		status  int
+		err     error
+		traceID string
 	)
+	if r.cfg.TraceSample > 0 && rng.Float64() < r.cfg.TraceSample {
+		// Stamp the request with a fresh sampled trace context; the sampled
+		// flag forces recording at the router/shard regardless of their own
+		// head-sampling rate, so the slow-trace IDs below always resolve.
+		sc := trace.NewSpanContext(true)
+		ctx = context.WithValue(ctx, traceKey{}, sc.Header())
+		traceID = sc.TraceID.String()
+	}
 	start := time.Now()
 	switch name {
 	case "translate":
@@ -444,6 +515,9 @@ func (r *runner) do(ctx context.Context, opIdx int, rng *rand.Rand) {
 	}
 	st.requests.Add(1)
 	st.hist.ObserveSince(start)
+	if traceID != "" {
+		st.slow.observe(traceID, time.Since(start))
+	}
 	if status/100 != 2 {
 		st.non2xx.Add(1)
 	}
@@ -460,6 +534,9 @@ func (r *runner) post(ctx context.Context, path string, body any) (int, error) {
 		return 0, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if tp, ok := ctx.Value(traceKey{}).(string); ok {
+		req.Header.Set(trace.TraceparentHeader, tp)
+	}
 	resp, err := r.cfg.Client.Do(req)
 	if err != nil {
 		return 0, err
@@ -678,6 +755,7 @@ func opRow(st *opStats, snap metrics.HistogramSnapshot, elapsed time.Duration) O
 	row.ThroughputRPS = rps(row.Requests, elapsed)
 	row.ErrorRate = errorRate(row)
 	row.LatencyMs = latencyMs(snap)
+	row.SlowTraces = st.slow.snapshot()
 	return row
 }
 

@@ -2,6 +2,8 @@ package loadgen
 
 import (
 	"context"
+	"encoding/json"
+	"net/http"
 	"net/http/httptest"
 	"sync"
 	"testing"
@@ -14,6 +16,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/service"
 	"repro/internal/spider"
+	"repro/internal/trace"
 )
 
 // The serving substrate is expensive to train; build it once for the package.
@@ -39,11 +42,18 @@ func testService(t *testing.T) (*httptest.Server, *metrics.Registry) {
 	}
 	p := core.New(srvCorpus.Train.Examples, cache, cfg)
 	reg := metrics.NewRegistry()
+	// Sample 0: the server records only requests arriving with a sampled
+	// traceparent, which is exactly what TestTraceSampling asserts. The
+	// recent ring is sized far past anything a sub-second run can produce,
+	// so every reported slow-trace ID is still resolvable — at the default
+	// cap the run's slowest trace can age out before the test fetches it.
+	tr := trace.New(trace.Config{Service: "loadgen-test", Sample: 0, Slow: time.Hour, RecentCap: 1 << 16})
 	s := service.New(p, srvCorpus,
 		service.WithCache(cache),
 		service.WithMetrics(reg),
 		service.WithCatalog(cat),
 		service.WithJobs(jobs.Config{Runners: 1, Queue: 8, TTL: -1}),
+		service.WithTracer(tr),
 	)
 	srv := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
@@ -191,6 +201,53 @@ func TestTenantFanout(t *testing.T) {
 	}
 	if got := rep.All(); got.Non2xx != 0 || got.Errors != 0 {
 		t.Fatalf("rerun against existing tenants failed: %+v", got)
+	}
+}
+
+// TestTraceSampling drives every request with a generator-minted sampled
+// traceparent against a server whose own head-sampling is 0, proving the
+// edge decision forces recording, the report carries resolvable slow-trace
+// IDs, and /v1/traces/{id} returns the span tree for one of them.
+func TestTraceSampling(t *testing.T) {
+	srv, _ := testService(t)
+	rep, err := Run(context.Background(), Config{
+		BaseURL:     srv.URL,
+		Duration:    300 * time.Millisecond,
+		Workers:     2,
+		Mix:         Mix{Execute: 1},
+		TraceSample: 1,
+		SlowTraces:  3,
+		Seed:        5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var slow []SlowTrace
+	for _, row := range rep.Results {
+		if row.Name == "execute" {
+			slow = row.SlowTraces
+		}
+	}
+	if len(slow) == 0 {
+		t.Fatal("TraceSample=1 produced no slow-trace rows")
+	}
+	if len(slow) > 1 && slow[0].DurationMs < slow[1].DurationMs {
+		t.Errorf("slow traces not sorted slowest-first: %+v", slow)
+	}
+	resp, err := http.Get(srv.URL + "/v1/traces/" + slow[0].TraceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/traces/%s = %d, want 200", slow[0].TraceID, resp.StatusCode)
+	}
+	var tree trace.TraceJSON
+	if err := json.NewDecoder(resp.Body).Decode(&tree); err != nil {
+		t.Fatal(err)
+	}
+	if tree.TraceID != slow[0].TraceID || len(tree.Spans) == 0 {
+		t.Fatalf("trace %s came back as %q with %d spans", slow[0].TraceID, tree.TraceID, len(tree.Spans))
 	}
 }
 

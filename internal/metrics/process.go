@@ -1,0 +1,50 @@
+package metrics
+
+import (
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// RegisterProcess adds the process-level instruments every serving mode
+// (shard and router alike) exposes on /v1/metrics: a constant build_info
+// row carrying version identity as labels (value 1, the Prometheus idiom),
+// plus uptime and goroutine gauges sampled at scrape time via Collect so
+// they are always current without a background updater.
+func RegisterProcess(r *Registry) {
+	version, commit := buildIdentity()
+	r.Gauge("process_build_info",
+		"Build identity; constant 1 with version and commit labels.",
+		L("version", version), L("commit", commit)).Set(1)
+	start := time.Now()
+	r.Collect(func(s *Sink) {
+		s.Gauge("process_uptime_seconds", "Seconds since the process registered its metrics.",
+			time.Since(start).Seconds())
+		s.Gauge("process_goroutines", "Goroutines currently live in the process.",
+			float64(runtime.NumGoroutine()))
+	})
+}
+
+// buildIdentity extracts the module version and VCS revision stamped into
+// the binary. "go test" binaries and plain "go run" builds carry neither;
+// they report devel/unknown rather than omitting the metric, so dashboards
+// keyed on process_build_info never lose the row.
+func buildIdentity() (version, commit string) {
+	version, commit = "devel", "unknown"
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return version, commit
+	}
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		version = v
+	}
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" && s.Value != "" {
+			commit = s.Value
+			if len(commit) > 12 {
+				commit = commit[:12]
+			}
+		}
+	}
+	return version, commit
+}

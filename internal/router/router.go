@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"sort"
@@ -29,6 +30,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 // ShardHeader carries shard attribution on responses. Shards set it to
@@ -74,6 +76,10 @@ type Config struct {
 	// Registry receives the router_* instruments and the proxy's
 	// http_requests_total (default: a fresh registry, served at /v1/metrics).
 	Registry *metrics.Registry
+	// Tracer, when non-nil, opens a root span per proxied request (adopting a
+	// sampled client traceparent), tags each upstream attempt, and serves
+	// /v1/traces with cross-shard span merging on /v1/traces/{id}.
+	Tracer *trace.Tracer
 	// Transport overrides the proxy/probe transport (tests). The default is
 	// a pooled http.Transport sized for shard fan-in.
 	Transport http.RoundTripper
@@ -118,6 +124,8 @@ type Router struct {
 
 	adoptMu  sync.Mutex
 	adopting map[string]*adoptCall
+
+	tracer *trace.Tracer
 
 	reg       *metrics.Registry
 	latAll    *metrics.Histogram // aggregate proxy latency, feeds the p95 hedge delay
@@ -199,6 +207,7 @@ func New(cfg Config) (*Router, error) {
 		rt.health[s] = shardHealth{healthy: true}
 	}
 
+	rt.tracer = cfg.Tracer
 	rt.reg = cfg.Registry
 	if rt.reg == nil {
 		rt.reg = metrics.NewRegistry()
@@ -304,6 +313,7 @@ func (rt *Router) CheckNow(ctx context.Context) {
 				h.healthy = true
 				changed = true
 				rt.mReadmit.Inc()
+				slog.Info("shard readmitted", "shard", addr, "epoch", rt.epoch+1)
 			}
 		} else {
 			h.fails++
@@ -311,6 +321,7 @@ func (rt *Router) CheckNow(ctx context.Context) {
 				h.healthy = false
 				changed = true
 				rt.mEject.Inc()
+				slog.Warn("shard ejected", "shard", addr, "fails", h.fails, "epoch", rt.epoch+1)
 			}
 		}
 		rt.health[addr] = h
@@ -402,6 +413,14 @@ func (rt *Router) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", rt.handleHealthz)
 	mux.HandleFunc("GET /v1/metrics", rt.handleMetrics)
 	mux.HandleFunc("GET /v1/router", rt.handleStatus)
+	// With tracing off these patterns are absent, so /v1/traces proxies
+	// through to a shard like any other GET — a single-shard deployment
+	// still answers. With tracing on, the router answers itself, merging
+	// shard spans into its own trees on the by-ID lookup.
+	if rt.tracer != nil {
+		mux.HandleFunc("GET /v1/traces", rt.handleTraces)
+		mux.HandleFunc("GET /v1/traces/{id}", rt.handleTraceGet)
+	}
 	mux.HandleFunc("/", rt.handleProxy)
 	return mux
 }
@@ -475,27 +494,50 @@ type upstreamResponse struct {
 
 func (rt *Router) handleProxy(w http.ResponseWriter, r *http.Request) {
 	rt.mRequests.Inc()
+	// Root span for the whole proxied exchange. A sampled client traceparent
+	// forces recording and parents this span under the caller's; attempts
+	// then re-inject so each shard's own root nests under its attempt span.
+	parent, _ := trace.Extract(r.Header)
+	ctx, sp := rt.tracer.StartRoot(r.Context(), "proxy", parent)
+	final := http.StatusOK
+	if sp != nil {
+		sp.SetRoute(r.URL.Path)
+		sp.SetAttrs(trace.Str("method", r.Method))
+		w.Header().Set(trace.IDHeader, sp.TraceID())
+		r = r.WithContext(ctx)
+		defer func() {
+			sp.SetAttrs(trace.Int("status", int64(final)))
+			sp.SetError(final >= http.StatusInternalServerError)
+			sp.Finish()
+		}()
+	}
 	var body []byte
 	if r.Body != nil {
 		b, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
 		if err != nil {
-			rt.writeError(w, http.StatusBadRequest, "reading request body: "+err.Error())
+			final = http.StatusBadRequest
+			rt.writeError(w, final, "reading request body: "+err.Error())
 			return
 		}
 		if len(b) > maxBodyBytes {
-			rt.writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds the proxy buffer limit")
+			final = http.StatusRequestEntityTooLarge
+			rt.writeError(w, final, "request body exceeds the proxy buffer limit")
 			return
 		}
 		body = b
 	}
 	key := RoutingKey(r, body)
+	if key != "" {
+		sp.SetTenant(key)
+	}
 	res, err := rt.dispatch(r, body, key)
 	if err != nil {
-		status := http.StatusBadGateway
+		final = http.StatusBadGateway
 		if errors.Is(err, errNoShards) {
-			status = http.StatusServiceUnavailable
+			final = http.StatusServiceUnavailable
 		}
-		rt.writeError(w, status, "router: "+err.Error())
+		sp.SetAttrs(trace.Str("proxy_error", err.Error()))
+		rt.writeError(w, final, "router: "+err.Error())
 		return
 	}
 	// Register-on-miss: a 404 for a tenant the ring places on this shard may
@@ -505,12 +547,18 @@ func (rt *Router) handleProxy(w http.ResponseWriter, r *http.Request) {
 	// is replayed once.
 	if res.status == http.StatusNotFound && key != "" && !strings.HasSuffix(r.URL.Path, "/adopt") {
 		if rt.adoptOnce(r.Context(), res.target, key) {
-			if res2, err2 := rt.proxyOnce(r.Context(), r, body, res.target); err2 == nil {
+			if res2, err2 := rt.proxyOnce(r.Context(), r, body, res.target, trace.Bool("adopt_replay", true)); err2 == nil {
 				res = res2
 			}
 		}
 	}
+	final = res.status
 	rt.countRequest(res.status)
+	// The shard stamped the same trace ID the router already set on this
+	// response; drop its copy so the header appears once.
+	if sp != nil {
+		res.header.Del(trace.IDHeader)
+	}
 	copyHeaders(w.Header(), res.header)
 	if w.Header().Get(ShardHeader) == "" {
 		w.Header().Set(ShardHeader, res.target)
@@ -620,6 +668,8 @@ func (rt *Router) dispatch(r *http.Request, body []byte, key string) (*upstreamR
 	if max := 1 + rt.cfg.Retries; len(cands) > max {
 		cands = cands[:max]
 	}
+	trace.FromContext(r.Context()).SetAttrs(
+		trace.Str("primary_shard", primary), trace.Int("candidates", int64(len(cands))))
 	hedge := successor != "" && hedgeable(r)
 	var lastErr error
 	for i, target := range cands {
@@ -631,7 +681,7 @@ func (rt *Router) dispatch(r *http.Request, body []byte, key string) (*upstreamR
 		if d, ok := rt.hedgeDelay(); i == 0 && hedge && ok {
 			res, err = rt.hedgedOnce(r.Context(), r, body, primary, successor, d)
 		} else {
-			res, err = rt.proxyOnce(r.Context(), r, body, target)
+			res, err = rt.proxyOnce(r.Context(), r, body, target, trace.Int("attempt", int64(i)))
 		}
 		if err != nil {
 			if r.Context().Err() != nil {
@@ -655,7 +705,7 @@ func (rt *Router) hedgedOnce(ctx context.Context, r *http.Request, body []byte, 
 	defer pcancel()
 	pch := make(chan attemptResult, 1)
 	go func() {
-		res, err := rt.proxyOnce(pctx, r, body, primary)
+		res, err := rt.proxyOnce(pctx, r, body, primary, trace.Int("attempt", 0))
 		pch <- attemptResult{res, err}
 	}()
 	timer := time.NewTimer(delay)
@@ -670,9 +720,12 @@ func (rt *Router) hedgedOnce(ctx context.Context, r *http.Request, body []byte, 
 	defer hcancel()
 	hch := make(chan attemptResult, 1)
 	go func() {
-		res, err := rt.proxyOnce(hctx, r, body, successor)
+		// The duplicate is a sibling attempt span tagged hedge=true, so a
+		// trace shows both racers and which shard each one hit.
+		res, err := rt.proxyOnce(hctx, r, body, successor, trace.Bool("hedge", true))
 		hch <- attemptResult{res, err}
 	}()
+	root := trace.FromContext(ctx)
 	var held *upstreamResponse
 	var pdone, hdone bool
 	var perr error
@@ -683,11 +736,13 @@ func (rt *Router) hedgedOnce(ctx context.Context, r *http.Request, body []byte, 
 			if pr.err == nil {
 				hcancel()
 				rt.mHedgeLos.Inc()
+				root.SetAttrs(trace.Str("hedge_outcome", "loss"))
 				return pr.res, nil
 			}
 			perr = pr.err
 			if held != nil {
 				rt.mHedgeWin.Inc()
+				root.SetAttrs(trace.Str("hedge_outcome", "win"))
 				return held, nil
 			}
 			if hdone {
@@ -702,6 +757,7 @@ func (rt *Router) hedgedOnce(ctx context.Context, r *http.Request, body []byte, 
 				}
 				pcancel()
 				rt.mHedgeWin.Inc()
+				root.SetAttrs(trace.Str("hedge_outcome", "win"))
 				return hr.res, nil
 			}
 			if pdone {
@@ -712,24 +768,41 @@ func (rt *Router) hedgedOnce(ctx context.Context, r *http.Request, body []byte, 
 }
 
 // proxyOnce issues the buffered request to one shard and buffers the reply.
-func (rt *Router) proxyOnce(ctx context.Context, r *http.Request, body []byte, target string) (*upstreamResponse, error) {
+// Each call is one "proxy.attempt" span; re-injecting its traceparent (over
+// whatever the client sent) parents the shard's root span under this
+// attempt, which is what stitches one trace across processes.
+func (rt *Router) proxyOnce(ctx context.Context, r *http.Request, body []byte, target string, attrs ...trace.Attr) (*upstreamResponse, error) {
 	req, err := http.NewRequestWithContext(ctx, r.Method, "http://"+target+r.URL.RequestURI(), bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
 	copyHeaders(req.Header, r.Header)
 	req.Header.Del(ShardHeader) // consumed for stickiness; shards answer with their own
+	sctx, sp := trace.StartSpan(ctx, "proxy.attempt")
+	if sp != nil {
+		sp.SetAttrs(trace.Str("shard", target))
+		sp.SetAttrs(attrs...)
+		trace.Inject(sctx, req.Header)
+	}
 	start := time.Now()
 	resp, err := rt.client.Do(req)
 	if err != nil {
+		sp.SetError(true)
+		sp.SetAttrs(trace.Str("error", err.Error()))
+		sp.Finish()
 		return nil, err
 	}
 	defer resp.Body.Close()
 	rb, err := io.ReadAll(resp.Body)
 	if err != nil {
+		sp.SetError(true)
+		sp.SetAttrs(trace.Str("error", err.Error()))
+		sp.Finish()
 		return nil, err
 	}
 	elapsed := time.Since(start)
+	sp.SetAttrs(trace.Int("status", int64(resp.StatusCode)))
+	sp.Finish()
 	rt.latAll.Observe(elapsed.Seconds())
 	if h := rt.latShard[target]; h != nil {
 		h.Observe(elapsed.Seconds())
@@ -740,7 +813,14 @@ func (rt *Router) proxyOnce(ctx context.Context, r *http.Request, body []byte, t
 // adoptOnce single-flights the hand-off trigger per tenant key: one POST
 // .../adopt per storm of concurrent misses, everyone else waits for its
 // verdict.
-func (rt *Router) adoptOnce(ctx context.Context, target, key string) bool {
+func (rt *Router) adoptOnce(ctx context.Context, target, key string) (adopted bool) {
+	if _, asp := trace.StartSpan(ctx, "proxy.adopt"); asp != nil {
+		asp.SetAttrs(trace.Str("shard", target), trace.Str("tenant", key))
+		defer func() {
+			asp.SetAttrs(trace.Bool("ok", adopted))
+			asp.Finish()
+		}()
+	}
 	rt.adoptMu.Lock()
 	if c, ok := rt.adopting[key]; ok {
 		rt.adoptMu.Unlock()

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -14,6 +15,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/schema"
 	"repro/internal/spider"
+	"repro/internal/trace"
 )
 
 // ---- JSON schema wire format ----
@@ -246,20 +248,25 @@ func (s *Server) handleDatabaseDelete(w http.ResponseWriter, r *http.Request) {
 
 // tenantFor resolves a request's database name to a registered tenant, or
 // nil when multi-tenancy is disabled or the name is unknown (benchmark
-// databases then get their shot).
-func (s *Server) tenantFor(name string) *catalog.Tenant {
+// databases then get their shot). The lookup is recorded as a child span
+// when ctx carries a trace.
+func (s *Server) tenantFor(ctx context.Context, name string) *catalog.Tenant {
 	if s.catalog == nil {
 		return nil
 	}
+	_, sp := trace.StartSpan(ctx, "catalog.lookup")
 	t, ok := s.catalog.Lookup(name)
+	sp.SetAttrs(trace.Str("database", name), trace.Bool("found", ok))
+	sp.Finish()
 	if !ok {
 		return nil
 	}
 	return t
 }
 
-func (s *Server) translateTenant(w http.ResponseWriter, t *catalog.Tenant, question string) {
+func (s *Server) translateTenant(w http.ResponseWriter, r *http.Request, t *catalog.Tenant, question string) {
 	snap := t.Snapshot()
+	trace.FromContext(r.Context()).SetTenant(snap.Name)
 	resp := TranslateResponse{Database: snap.Name, State: string(snap.State), Version: snap.Version}
 	e, ok := snap.Oracle(question)
 	if !ok {
@@ -275,10 +282,12 @@ func (s *Server) translateTenant(w http.ResponseWriter, t *catalog.Tenant, quest
 		return
 	}
 	start := time.Now()
-	res := snap.Pipeline.Translate(e)
+	res := snap.Pipeline.TranslateContext(r.Context(), e)
 	t.RecordTranslate(time.Since(start))
 	em := eval.ExactSetMatchSQL(res.SQL, e.GoldSQL)
+	_, esp := trace.StartSpan(r.Context(), "eval.exec_match")
 	ex := eval.ExecutionMatch(snap.DB, res.SQL, e.GoldSQL)
+	esp.Finish()
 	resp.SQL = res.SQL
 	resp.Gold = e.GoldSQL
 	resp.ExactMatch = &em
@@ -313,8 +322,19 @@ type countingTranslator struct {
 func (c countingTranslator) Name() string { return c.inner.Name() }
 
 func (c countingTranslator) Translate(e *spider.Example) core.Translation {
+	return c.TranslateContext(context.Background(), e)
+}
+
+// TranslateContext implements core.ContextTranslator so batch engines and
+// job runners thread the traced context through to the tenant pipeline.
+func (c countingTranslator) TranslateContext(ctx context.Context, e *spider.Example) core.Translation {
 	start := time.Now()
-	res := c.inner.Translate(e)
+	var res core.Translation
+	if ct, ok := c.inner.(core.ContextTranslator); ok {
+		res = ct.TranslateContext(ctx, e)
+	} else {
+		res = c.inner.Translate(e)
+	}
 	c.t.RecordTranslate(time.Since(start))
 	return res
 }

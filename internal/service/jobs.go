@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/eval"
 	"repro/internal/jobs"
+	"repro/internal/trace"
 )
 
 // JobCreateRequest submits a batch of dev tasks (task_ids) or, for a
@@ -143,7 +144,9 @@ func (s *Server) handleJobCreate(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad json: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	jreq := jobs.Request{Workers: req.Workers, Label: req.Label}
+	// Link the job to this request's trace (inert when unsampled): the
+	// runner's queue-wait and run spans land under this submission's span.
+	jreq := jobs.Request{Workers: req.Workers, Label: req.Label, Trace: trace.LinkFromContext(r.Context())}
 	switch {
 	case req.Database != "" && s.catalog != nil:
 		// Tenant-scoped form: the job runs on the tenant's pipeline (its
@@ -160,11 +163,12 @@ func (s *Server) handleJobCreate(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, "batch too large", http.StatusRequestEntityTooLarge)
 			return
 		}
-		t := s.tenantFor(req.Database)
+		t := s.tenantFor(r.Context(), req.Database)
 		if t == nil {
 			http.Error(w, "unknown database", http.StatusNotFound)
 			return
 		}
+		trace.FromContext(r.Context()).SetTenant(req.Database)
 		snap := t.Snapshot()
 		examples, ok := s.tenantExamples(w, snap, req.Questions)
 		if !ok {

@@ -2,12 +2,14 @@ package service
 
 import (
 	"bytes"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 // serverMetrics holds the server's HTTP-path instruments. Each registered
@@ -66,25 +68,66 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.ResponseWriter.WriteHeader(code)
 }
 
+// TraceIDHeader names the response header echoing the request's trace ID
+// when the request was sampled — the handle a client quotes to pull the
+// full tree from /v1/traces/{id}.
+const TraceIDHeader = trace.IDHeader
+
 // instrument wraps a handler with the route's request counter and latency
-// histogram. With metrics disabled it returns the handler unchanged, so the
-// default server pays nothing.
+// histogram, and — when tracing is enabled — a root span extracted from (or
+// seeding) the request's W3C traceparent. With both subsystems disabled it
+// returns the handler unchanged, so the default server pays nothing.
 func (s *Server) instrument(pattern string, h http.HandlerFunc) http.HandlerFunc {
-	if s.metrics == nil {
+	if s.metrics == nil && s.tracer == nil {
 		return h
 	}
-	rm := s.metrics.route(pattern)
+	var rm *routeMetrics
+	if s.metrics != nil {
+		rm = s.metrics.route(pattern)
+	}
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
-		s.metrics.inflight.Add(1)
+		// A sampled inbound traceparent (from the router or a client) forces
+		// recording and parents this process's root span under the caller's;
+		// otherwise the tracer head-samples. Nil tracer / unsampled → sp nil
+		// and the request runs span-free at zero cost.
+		parent, _ := trace.Extract(r.Header)
+		ctx, sp := s.tracer.StartRoot(r.Context(), pattern, parent)
+		if sp != nil {
+			sp.SetRoute(pattern)
+			sp.SetAttrs(trace.Str("method", r.Method), trace.Str("path", r.URL.Path))
+			if s.shardID != "" {
+				sp.SetAttrs(trace.Str("shard", s.shardID))
+			}
+			w.Header().Set(TraceIDHeader, sp.TraceID())
+			r = r.WithContext(ctx)
+		}
+		if s.metrics != nil {
+			s.metrics.inflight.Add(1)
+		}
 		// Deferred so a panicking handler (net/http recovers it per
 		// connection) still decrements the in-flight gauge and records the
 		// request — otherwise each panic drifts the gauge up permanently.
 		defer func() {
-			s.metrics.inflight.Add(-1)
-			rm.hist.ObserveSince(start)
-			rm.counterFor(rec.status).Inc()
+			elapsed := time.Since(start)
+			if s.metrics != nil {
+				s.metrics.inflight.Add(-1)
+				rm.hist.Observe(elapsed.Seconds())
+				rm.counterFor(rec.status).Inc()
+			}
+			if sp != nil {
+				sp.SetAttrs(trace.Int("status", int64(rec.status)))
+				sp.SetError(rec.status >= http.StatusInternalServerError)
+				sp.Finish()
+			}
+			if rec.status >= http.StatusInternalServerError {
+				slog.Warn("request failed",
+					"route", pattern, "status", rec.status,
+					"duration_ms", float64(elapsed)/1e6,
+					"shard", s.shardID, "tenant", sp.Tenant(),
+					"trace_id", sp.TraceID())
+			}
 		}()
 		h(rec, r)
 	}

@@ -20,6 +20,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/spider"
 	"repro/internal/sqlexec"
+	"repro/internal/trace"
 )
 
 // defaultMaxBatch caps how many tasks one /v1/batch or /v1/jobs request may
@@ -37,6 +38,7 @@ type Server struct {
 	jobs     *jobs.Manager
 	catalog  *catalog.Catalog
 	metrics  *serverMetrics
+	tracer   *trace.Tracer
 	workers  int
 	maxBatch int
 
@@ -116,6 +118,15 @@ func WithMetrics(reg *metrics.Registry) Option {
 	return func(s *Server) { s.metrics = newServerMetrics(reg) }
 }
 
+// WithTracer enables request tracing: every route opens a root span
+// (honoring inbound W3C traceparent), the pipeline/catalog/jobs/execution
+// layers open children through the request context, and GET /v1/traces
+// serves the capture rings. A nil tracer leaves tracing disabled.
+func WithTracer(t *trace.Tracer) Option { return func(s *Server) { s.tracer = t } }
+
+// Tracer exposes the tracer (nil unless WithTracer was passed).
+func (s *Server) Tracer() *trace.Tracer { return s.tracer }
+
 // New builds a server around a constructed pipeline and its corpus.
 func New(p *core.Pipeline, c *spider.Corpus, opts ...Option) *Server {
 	s := &Server{
@@ -193,6 +204,10 @@ func (s *Server) Handler() http.Handler {
 	handle("GET /v1/stats", s.handleStats)
 	if s.metrics != nil {
 		handle("GET /v1/metrics", s.handleMetrics)
+	}
+	if s.tracer != nil {
+		handle("GET /v1/traces", s.handleTraces)
+		handle("GET /v1/traces/{id}", s.handleTraceGet)
 	}
 	if s.catalog != nil {
 		handle("POST /v1/databases", s.handleDatabaseRegister)
@@ -324,9 +339,11 @@ func (s *Server) handleTranslate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		e := s.corpus.Dev.Examples[id]
-		res := s.pipeline.Translate(e)
+		res := s.pipeline.TranslateContext(r.Context(), e)
 		em := eval.ExactSetMatchSQL(res.SQL, e.GoldSQL)
+		_, esp := trace.StartSpan(r.Context(), "eval.exec_match")
 		ex := eval.ExecutionMatch(e.DB, res.SQL, e.GoldSQL)
+		esp.Finish()
 		writeJSON(w, TranslateResponse{
 			SQL: res.SQL, Gold: e.GoldSQL,
 			ExactMatch: &em, ExecMatch: &ex,
@@ -334,8 +351,8 @@ func (s *Server) handleTranslate(w http.ResponseWriter, r *http.Request) {
 			TotalTokens: res.InputTokens + res.OutputTokens,
 		})
 	case req.Database != "" && req.Question != "":
-		if t := s.tenantFor(req.Database); t != nil {
-			s.translateTenant(w, t, req.Question)
+		if t := s.tenantFor(r.Context(), req.Database); t != nil {
+			s.translateTenant(w, r, t, req.Question)
 			return
 		}
 		s.mu.RLock()
@@ -412,11 +429,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, "batch too large", http.StatusRequestEntityTooLarge)
 			return
 		}
-		t := s.tenantFor(req.Database)
+		t := s.tenantFor(r.Context(), req.Database)
 		if t == nil {
 			http.Error(w, "unknown database", http.StatusNotFound)
 			return
 		}
+		trace.FromContext(r.Context()).SetTenant(req.Database)
 		snap := t.Snapshot()
 		examples, ok := s.tenantExamples(w, snap, req.Questions)
 		if !ok {
@@ -498,6 +516,9 @@ type StatsResponse struct {
 	// Catalog carries the multi-tenant registry's catalog-wide and
 	// per-tenant counters when the subsystem is enabled.
 	Catalog *catalog.Stats `json:"catalog,omitempty"`
+	// TraceExemplars links each route's latency histogram to its slowest
+	// recently-captured trace — the handle to pull from /v1/traces/{id}.
+	TraceExemplars map[string]trace.Exemplar `json:"trace_exemplars,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -519,6 +540,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		cs := s.catalog.Stats()
 		out.Catalog = &cs
 	}
+	out.TraceExemplars = s.tracer.Exemplars()
 	writeJSON(w, out)
 }
 
@@ -543,10 +565,11 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 	}
 	// Tenant databases execute through their snapshot's own plan cache, so
 	// one tenant's query mix cannot evict another's plans.
-	if t := s.tenantFor(req.Database); t != nil {
+	if t := s.tenantFor(r.Context(), req.Database); t != nil {
+		trace.FromContext(r.Context()).SetTenant(req.Database)
 		snap := t.Snapshot()
 		t.RecordExec()
-		res, err := snap.Plans.Exec(snap.DB, req.SQL)
+		res, err := snap.Plans.ExecCtx(r.Context(), snap.DB, req.SQL)
 		writeExecResult(w, res, err)
 		return
 	}
@@ -559,7 +582,7 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 	}
 	// Prepared through the shared plan cache: repeated dashboard/monitoring
 	// queries against a benchmark database skip parsing and planning.
-	res, err := sqlexec.Shared.Exec(examples[0].DB, req.SQL)
+	res, err := sqlexec.Shared.ExecCtx(r.Context(), examples[0].DB, req.SQL)
 	writeExecResult(w, res, err)
 }
 

@@ -2,12 +2,14 @@ package sqlexec
 
 import (
 	"container/list"
+	"context"
 	"strconv"
 	"strings"
 	"sync"
 
 	"repro/internal/schema"
 	"repro/internal/sqlir"
+	"repro/internal/trace"
 )
 
 // Prepare compiles the query against the database's schema into a reusable
@@ -117,6 +119,13 @@ var Shared = NewPlanCache(512)
 // Prepare returns a cached statement for (db's schema, sql), compiling and
 // inserting on miss.
 func (c *PlanCache) Prepare(db *schema.Database, sql string) (*Stmt, error) {
+	stmt, _, err := c.prepare(db, sql)
+	return stmt, err
+}
+
+// prepare is Prepare plus a first-lookup hit flag for tracing. Losing a
+// concurrent compile race still reports a miss: this caller did the work.
+func (c *PlanCache) prepare(db *schema.Database, sql string) (*Stmt, bool, error) {
 	key := strconv.FormatUint(db.Fingerprint(), 16) + "\x00" + sql
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
@@ -124,7 +133,7 @@ func (c *PlanCache) Prepare(db *schema.Database, sql string) (*Stmt, error) {
 		c.hits++
 		stmt := el.Value.(*cacheEntry).stmt
 		c.mu.Unlock()
-		return stmt, nil
+		return stmt, true, nil
 	}
 	c.misses++
 	c.mu.Unlock()
@@ -133,7 +142,7 @@ func (c *PlanCache) Prepare(db *schema.Database, sql string) (*Stmt, error) {
 	// work but converge on one cached entry.
 	stmt, err := PrepareSQL(db, sql)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 
 	c.mu.Lock()
@@ -150,7 +159,7 @@ func (c *PlanCache) Prepare(db *schema.Database, sql string) (*Stmt, error) {
 		}
 	}
 	c.mu.Unlock()
-	return stmt, nil
+	return stmt, false, nil
 }
 
 // Exec prepares sql through the cache and executes it against db — the
@@ -162,6 +171,32 @@ func (c *PlanCache) Exec(db *schema.Database, sql string) (*Result, error) {
 		return nil, err
 	}
 	return stmt.Exec(db)
+}
+
+// ExecCtx is Exec with tracing: when ctx carries a recorded trace it opens a
+// "sqlexec.exec" child span annotated with the plan-cache outcome, the
+// database, and the result size. With a spanless context it is exactly Exec.
+func (c *PlanCache) ExecCtx(ctx context.Context, db *schema.Database, sql string) (*Result, error) {
+	_, sp := trace.StartSpan(ctx, "sqlexec.exec")
+	if sp == nil {
+		return c.Exec(db, sql)
+	}
+	defer sp.Finish()
+	stmt, hit, err := c.prepare(db, sql)
+	sp.SetAttrs(trace.Bool("plan_cache_hit", hit), trace.Str("db", db.Name))
+	if err != nil {
+		sp.SetError(true)
+		sp.SetAttrs(trace.Str("error", err.Error()))
+		return nil, err
+	}
+	res, err := stmt.Exec(db)
+	if err != nil {
+		sp.SetError(true)
+		sp.SetAttrs(trace.Str("error", err.Error()))
+		return nil, err
+	}
+	sp.SetAttrs(trace.Int("rows", int64(len(res.Rows))))
+	return res, nil
 }
 
 // InvalidateFingerprint removes every cached statement prepared against a

@@ -1,0 +1,148 @@
+package trace
+
+import (
+	"context"
+	"net/http"
+)
+
+// TraceparentHeader is the W3C Trace Context header carrying trace identity
+// across process boundaries: "00-{trace-id}-{parent-id}-{flags}".
+const TraceparentHeader = "traceparent"
+
+// IDHeader is the response header echoing a sampled request's trace ID —
+// the handle a client quotes to pull the full tree from /v1/traces/{id}.
+const IDHeader = "X-Trace-Id"
+
+const hexDigits = "0123456789abcdef"
+
+func hexEncode(dst, src []byte) {
+	for i, b := range src {
+		dst[2*i] = hexDigits[b>>4]
+		dst[2*i+1] = hexDigits[b&0x0f]
+	}
+}
+
+// hexDecode fills dst from 2*len(dst) lowercase-or-uppercase hex characters,
+// reporting malformed input.
+func hexDecode(dst []byte, src string) bool {
+	if len(src) != 2*len(dst) {
+		return false
+	}
+	for i := range dst {
+		hi, ok1 := hexVal(src[2*i])
+		lo, ok2 := hexVal(src[2*i+1])
+		if !ok1 || !ok2 {
+			return false
+		}
+		dst[i] = hi<<4 | lo
+	}
+	return true
+}
+
+func hexVal(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	case c >= 'A' && c <= 'F':
+		return c - 'A' + 10, true
+	}
+	return 0, false
+}
+
+// String returns the 32-character lowercase hex form.
+func (id TraceID) String() string {
+	var buf [32]byte
+	hexEncode(buf[:], id[:])
+	return string(buf[:])
+}
+
+// String returns the 16-character lowercase hex form.
+func (id SpanID) String() string {
+	var buf [16]byte
+	hexEncode(buf[:], id[:])
+	return string(buf[:])
+}
+
+// ParseTraceID parses a 32-character hex trace ID.
+func ParseTraceID(s string) (TraceID, bool) {
+	var id TraceID
+	if !hexDecode(id[:], s) || id.IsZero() {
+		return TraceID{}, false
+	}
+	return id, true
+}
+
+// Header renders the span context as a traceparent header value.
+func (sc SpanContext) Header() string {
+	// "00-" + 32 + "-" + 16 + "-" + 2 = 55 bytes.
+	var buf [55]byte
+	buf[0], buf[1], buf[2] = '0', '0', '-'
+	hexEncode(buf[3:35], sc.TraceID[:])
+	buf[35] = '-'
+	hexEncode(buf[36:52], sc.SpanID[:])
+	buf[52] = '-'
+	buf[53] = '0'
+	if sc.Sampled {
+		buf[54] = '1'
+	} else {
+		buf[54] = '0'
+	}
+	return string(buf[:])
+}
+
+// ParseTraceparent parses a W3C traceparent value. It accepts any known
+// version with trailing fields (version-format forward compatibility) but
+// rejects version 0xff, malformed hex, and all-zero IDs.
+func ParseTraceparent(s string) (SpanContext, bool) {
+	if len(s) < 55 || s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return SpanContext{}, false
+	}
+	verHi, ok1 := hexVal(s[0])
+	verLo, ok2 := hexVal(s[1])
+	if !ok1 || !ok2 {
+		return SpanContext{}, false
+	}
+	ver := verHi<<4 | verLo
+	if ver == 0xff {
+		return SpanContext{}, false
+	}
+	if len(s) > 55 && (ver == 0 || s[55] != '-') {
+		return SpanContext{}, false
+	}
+	var sc SpanContext
+	if !hexDecode(sc.TraceID[:], s[3:35]) || !hexDecode(sc.SpanID[:], s[36:52]) {
+		return SpanContext{}, false
+	}
+	if !sc.Valid() {
+		return SpanContext{}, false
+	}
+	flagsHi, ok1 := hexVal(s[53])
+	flagsLo, ok2 := hexVal(s[54])
+	if !ok1 || !ok2 {
+		return SpanContext{}, false
+	}
+	sc.Sampled = (flagsHi<<4|flagsLo)&0x01 != 0
+	return sc, true
+}
+
+// Extract reads the span context from an incoming request's headers.
+func Extract(h http.Header) (SpanContext, bool) {
+	v := h.Get(TraceparentHeader)
+	if v == "" {
+		return SpanContext{}, false
+	}
+	return ParseTraceparent(v)
+}
+
+// Inject writes the active span's context into outgoing headers, replacing
+// any copied-through inbound value. A spanless ctx leaves h untouched so a
+// client-supplied traceparent still passes through untraced proxies.
+func Inject(ctx context.Context, h http.Header) {
+	sp := FromContext(ctx)
+	if sp == nil {
+		return
+	}
+	h.Set(TraceparentHeader, sp.Context().Header())
+}
