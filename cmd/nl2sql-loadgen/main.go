@@ -16,6 +16,14 @@
 // exceeds the bound; -check-metrics fails it (exit 3) unless the server's
 // /v1/metrics parses as Prometheus text and its http_requests_total sum
 // covers every request the generator sent.
+//
+// -scenario switches the tool from a single homogeneous run to a declarative
+// multi-phase plan (ramp, steady, spike, churn, register-storm,
+// saturate-jobs) with per-phase SLO assertions and optional LLM brownout
+// windows (server started with -llm-fault). The report becomes the scenario
+// result; a violated SLO exits 4:
+//
+//	nl2sql-loadgen -scenario scenarios/soak-short.json -url http://localhost:8080
 package main
 
 import (
@@ -51,8 +59,14 @@ func main() {
 		out        = flag.String("out", "", "write the JSON report here instead of stdout")
 		maxErrRate = flag.Float64("max-error-rate", -1, "exit 2 when the aggregate error rate exceeds this (-1 disables)")
 		checkMet   = flag.Bool("check-metrics", false, "after the run, verify /v1/metrics parses and reflects the request count (exit 3 on failure)")
+		scenPath   = flag.String("scenario", "", "run this declarative multi-phase scenario file instead of a single homogeneous load (exit 4 on SLO violation)")
 	)
 	flag.Parse()
+
+	if *scenPath != "" {
+		runScenario(*scenPath, *url, *waitReady, *out)
+		return
+	}
 
 	mix, err := loadgen.ParseMix(*mixFlag)
 	if err != nil {

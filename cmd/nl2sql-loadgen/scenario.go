@@ -1,0 +1,91 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/loadgen"
+	"repro/internal/scenario"
+)
+
+// runScenario executes a declarative multi-phase plan and exits: 0 when
+// every phase met its SLO, 2 on plan/transport breakage, 4 on SLO
+// violation. The JSON result (benchfmt header + per-phase rows) goes to
+// -out or stdout; a human-readable per-phase table goes to stderr.
+func runScenario(path, url string, waitReady time.Duration, out string) {
+	spec, err := scenario.Load(path)
+	if err != nil {
+		fatal(2, "%v", err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	if waitReady > 0 {
+		for _, target := range strings.Split(url, ",") {
+			if target = strings.TrimSpace(target); target == "" {
+				continue
+			}
+			waitCtx, cancel := context.WithTimeout(ctx, waitReady)
+			err := loadgen.WaitReady(waitCtx, nil, target)
+			cancel()
+			if err != nil {
+				fatal(2, "%v", err)
+			}
+		}
+	}
+
+	res, err := scenario.Run(ctx, spec, scenario.Options{
+		BaseURL: url,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "scenario: "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		fatal(2, "%v", err)
+	}
+
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			fatal(2, "%v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(res); err != nil {
+		fatal(2, "%v", err)
+	}
+
+	fmt.Fprintf(os.Stderr, "scenario %s: %d phases\n", res.Scenario, len(res.Phases))
+	for _, pr := range res.Phases {
+		verdict := "ok"
+		if !pr.Passed {
+			verdict = "FAIL"
+		}
+		fmt.Fprintf(os.Stderr, "  %-16s %-14s %6.1fs  %7d req  %5d 429  err %.4f  p95 %7.1fms  %s\n",
+			pr.Name, pr.Kind, pr.DurationSeconds, pr.Traffic.Requests, pr.Traffic.Status429,
+			pr.Traffic.ErrorRate, pr.Traffic.LatencyMs.P95, verdict)
+		for _, c := range pr.Checks {
+			if !c.Passed {
+				detail := ""
+				if c.Detail != "" {
+					detail = " — " + c.Detail
+				}
+				fmt.Fprintf(os.Stderr, "      violated %s: %g vs bound %g%s\n", c.Name, c.Value, c.Bound, detail)
+			}
+		}
+	}
+	if !res.Passed {
+		fatal(4, "scenario %s violated its SLOs", res.Scenario)
+	}
+	fmt.Fprintf(os.Stderr, "scenario %s: all SLOs met\n", res.Scenario)
+}

@@ -73,6 +73,13 @@ type appConfig struct {
 	// at least this slow survive ring churn alongside error traces.
 	TraceSample float64
 	TraceSlow   time.Duration
+	// LLMFault enables the LLM fault-injection layer and its /v1/faults
+	// control endpoint (chaos/soak runs toggle brownout windows through it);
+	// LLMFaultLatency and LLMFaultErrorRate set the always-on base regime
+	// (both zero = faults only inside scenario-opened brownout windows).
+	LLMFault          bool
+	LLMFaultLatency   time.Duration
+	LLMFaultErrorRate float64
 	// LogLevel/LogFormat configure the process-wide slog default handler.
 	LogLevel  string
 	LogFormat string
@@ -142,8 +149,20 @@ func newApp(cfg appConfig) (*app, error) {
 	}
 	slog.Info("generating corpus and training pipeline", "scale", cfg.Scale, "seed", cfg.Seed)
 	corpus := spider.GenerateSmall(cfg.Seed, cfg.Scale)
-	base := llm.Client(llm.NewSim(llm.ChatGPT))
-	client := base
+	sim := llm.Client(llm.NewSim(llm.ChatGPT))
+	base, client := sim, sim
+	var fault *llm.Fault
+	if cfg.LLMFault {
+		fault = llm.NewFault(llm.FaultConfig{
+			Latency: cfg.LLMFaultLatency, ErrorRate: cfg.LLMFaultErrorRate, Seed: cfg.Seed,
+		})
+		// The catalog path is degraded inside the per-tenant caches (tenants
+		// wrap base themselves); the pipeline path is wrapped again outside
+		// its cache below, so a brownout bites even on cache hits.
+		base = fault.Wrap(sim)
+		slog.Info("llm fault injection enabled",
+			"latency", cfg.LLMFaultLatency.String(), "error_rate", cfg.LLMFaultErrorRate)
+	}
 	reg := metrics.NewRegistry()
 	metrics.RegisterProcess(reg)
 	svcName := "nl2sql-server"
@@ -159,6 +178,13 @@ func newApp(cfg appConfig) (*app, error) {
 		cache := llm.NewCache(client, cfg.CacheCap)
 		client = cache
 		opts = append(opts, service.WithCache(cache))
+	}
+	if fault != nil {
+		// Outermost on the pipeline path: injected latency and brownout
+		// errors apply per request, not merely per cache miss — the lever a
+		// chaos scenario uses to saturate the jobs queue deterministically.
+		client = fault.Wrap(client)
+		opts = append(opts, service.WithFault(fault))
 	}
 	if cfg.JobRunners > 0 {
 		opts = append(opts, service.WithJobs(jobs.Config{

@@ -84,6 +84,9 @@ func main() {
 	flag.IntVar(&cfg.Retries, "retries", 2, "router retry budget: extra attempts against other shards after a transport error (negative disables)")
 	flag.Float64Var(&cfg.TraceSample, "trace-sample", 1, "head-sampling probability for request traces (1 traces every request, 0 only requests arriving with a sampled traceparent, negative disables tracing entirely)")
 	flag.DurationVar(&cfg.TraceSlow, "trace-slow", 250*time.Millisecond, "requests slower than this are retained in the slow-trace ring regardless of churn (error traces always are)")
+	flag.BoolVar(&cfg.LLMFault, "llm-fault", false, "enable the LLM fault-injection layer and its /v1/faults control endpoint (chaos/soak testing)")
+	flag.DurationVar(&cfg.LLMFaultLatency, "llm-fault-latency", 0, "always-on injected latency per LLM call (requires -llm-fault; brownout windows are opened via POST /v1/faults)")
+	flag.Float64Var(&cfg.LLMFaultErrorRate, "llm-fault-error-rate", 0, "always-on probability in [0,1] that an LLM call is answered with a corrupt completion (requires -llm-fault)")
 	flag.StringVar(&cfg.LogLevel, "log-level", "info", "minimum structured-log level: debug, info, warn, error")
 	flag.StringVar(&cfg.LogFormat, "log-format", "text", "structured-log encoding: text or json")
 	flag.Parse()

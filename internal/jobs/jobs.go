@@ -211,6 +211,10 @@ type Counters struct {
 	QueueDepth int `json:"queue_depth"`
 	QueueCap   int `json:"queue_cap"`
 	Running    int `json:"running"`
+	// QueuePeak is the deepest the admission queue has ever been — the
+	// high-water mark saturation tests read to prove back-pressure built
+	// up even after the queue drained again.
+	QueuePeak int `json:"queue_peak"`
 	// Lifetime totals since the manager started.
 	Submitted int `json:"submitted"`
 	Rejected  int `json:"rejected"`
@@ -322,6 +326,9 @@ func (m *Manager) Submit(req Request) (Status, error) {
 	m.pending = append(m.pending, j)
 	m.jobs[j.id] = j
 	m.counters.Submitted++
+	if len(m.pending) > m.counters.QueuePeak {
+		m.counters.QueuePeak = len(m.pending)
+	}
 	m.cond.Signal()
 	return j.snapshot(), nil
 }

@@ -233,15 +233,22 @@ func TestQueueFullRejects(t *testing.T) {
 	if c := m.Stats(); c.Rejected != 1 || c.QueueDepth != 2 || c.Running != 1 {
 		t.Errorf("counters: %+v", c)
 	}
+	if c := m.Stats(); c.QueuePeak != 2 {
+		t.Errorf("QueuePeak = %d, want 2 (full queue)", c.QueuePeak)
+	}
 	close(gate)
 	for _, id := range ids {
 		if st := waitFinished(t, m, id); st.State != StateDone {
 			t.Errorf("job %s: %s", id, st.State)
 		}
 	}
-	// With the backlog drained, admission works again.
+	// With the backlog drained, admission works again — and the high-water
+	// mark remembers the earlier saturation.
 	if _, err := m.Submit(Request{Examples: stubExamples(1, 100)}); err != nil {
 		t.Errorf("submit after drain: %v", err)
+	}
+	if c := m.Stats(); c.QueuePeak != 2 {
+		t.Errorf("QueuePeak after drain = %d, want the sticky high-water 2", c.QueuePeak)
 	}
 	shutdownOrFail(t, m)
 }

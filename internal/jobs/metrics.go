@@ -13,6 +13,7 @@ func (m *Manager) Instrument(reg *metrics.Registry) {
 		s.Gauge("jobs_queue_depth", "Jobs admitted but not yet running.", float64(c.QueueDepth))
 		s.Gauge("jobs_queue_capacity", "Admission queue capacity (full queue rejects with 429).", float64(c.QueueCap))
 		s.Gauge("jobs_running", "Jobs executing right now.", float64(c.Running))
+		s.Gauge("jobs_queue_peak", "Deepest the admission queue has ever been (high-water mark).", float64(c.QueuePeak))
 		s.Counter("jobs_submitted_total", "Jobs admitted since start.", float64(c.Submitted))
 		s.Counter("jobs_rejected_total", "Submissions refused (queue full or draining).", float64(c.Rejected))
 		s.Counter("jobs_completed_total", "Jobs finished done.", float64(c.Completed))

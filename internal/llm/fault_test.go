@@ -1,0 +1,113 @@
+package llm
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// echoClient answers with a fixed marker so tests can tell a forwarded
+// completion from an injected one.
+type echoClient struct{ calls int }
+
+func (e *echoClient) Name() string { return "echo" }
+func (e *echoClient) Complete(req Request) Response {
+	e.calls++
+	return Response{SQLs: []string{"SELECT 1 FROM echo"}}
+}
+
+func TestFaultPassthrough(t *testing.T) {
+	inner := &echoClient{}
+	c := NewFault(FaultConfig{}).Wrap(inner)
+	if got := c.Name(); got != "fault(echo)" {
+		t.Errorf("Name() = %q", got)
+	}
+	resp := c.Complete(Request{N: 1})
+	if inner.calls != 1 || resp.SQLs[0] != "SELECT 1 FROM echo" {
+		t.Fatalf("zero-config fault altered the call: %+v (inner calls %d)", resp, inner.calls)
+	}
+}
+
+func TestFaultErrorInjection(t *testing.T) {
+	inner := &echoClient{}
+	f := NewFault(FaultConfig{ErrorRate: 1})
+	c := f.Wrap(inner)
+	resp := c.Complete(Request{N: 3})
+	if inner.calls != 0 {
+		t.Fatalf("ErrorRate=1 still reached the inner client")
+	}
+	if len(resp.SQLs) != 3 {
+		t.Fatalf("injected response has %d samples, want 3", len(resp.SQLs))
+	}
+	for _, sql := range resp.SQLs {
+		if !strings.Contains(sql, "fault_injected") {
+			t.Errorf("injected sample %q carries no fault marker", sql)
+		}
+	}
+	st := f.Stats()
+	if st.Calls != 1 || st.InjectedErrors != 1 {
+		t.Errorf("stats = %+v, want 1 call / 1 injected error", st)
+	}
+}
+
+func TestFaultBrownoutToggle(t *testing.T) {
+	inner := &echoClient{}
+	f := NewFault(FaultConfig{})
+	c := f.Wrap(inner)
+
+	c.Complete(Request{})
+	if f.Stats().InjectedErrors != 0 {
+		t.Fatal("fault injected outside any regime")
+	}
+
+	f.SetBrownout(true, &FaultConfig{ErrorRate: 1})
+	if !f.Brownout() {
+		t.Fatal("brownout did not open")
+	}
+	c.Complete(Request{})
+	if got := f.Stats().InjectedErrors; got != 1 {
+		t.Fatalf("brownout regime not applied: %d injected errors", got)
+	}
+
+	f.SetBrownout(false, nil)
+	c.Complete(Request{})
+	if got := f.Stats().InjectedErrors; got != 1 {
+		t.Fatalf("closed brownout still injecting: %d injected errors", got)
+	}
+	if inner.calls != 2 {
+		t.Errorf("inner saw %d calls, want 2", inner.calls)
+	}
+	// The window regime survives the close for the next toggle.
+	if _, brown := f.Configs(); brown.ErrorRate != 1 {
+		t.Errorf("brownout window config lost on close: %+v", brown)
+	}
+}
+
+func TestFaultLatency(t *testing.T) {
+	f := NewFault(FaultConfig{Latency: 30 * time.Millisecond})
+	c := f.Wrap(&echoClient{})
+	start := time.Now()
+	c.Complete(Request{})
+	if el := time.Since(start); el < 30*time.Millisecond {
+		t.Errorf("call returned in %v, want >= 30ms of injected latency", el)
+	}
+	if got := f.Stats().InjectedLatency; got != 1 {
+		t.Errorf("InjectedLatency = %d, want 1", got)
+	}
+}
+
+func TestFaultLatencyHonorsContext(t *testing.T) {
+	f := NewFault(FaultConfig{Latency: 5 * time.Second})
+	c := f.Wrap(&echoClient{})
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	c.Complete(Request{Ctx: ctx})
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("cancelled request waited %v for the injected delay", el)
+	}
+}

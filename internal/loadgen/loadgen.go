@@ -113,6 +113,10 @@ type Config struct {
 	Workers int
 	// Rate > 0 selects open-loop mode at that many requests/second.
 	Rate float64
+	// RateEnd > 0 turns the open loop into a linear ramp: the dispatch rate
+	// slides from Rate to RateEnd over Duration (requires Rate > 0). Zero
+	// keeps the classic constant-rate clock.
+	RateEnd float64
 	// MaxInFlight bounds open-loop concurrency; dispatches beyond it are
 	// counted as dropped (default 256).
 	MaxInFlight int
@@ -200,6 +204,12 @@ func (c Config) withDefaults() (Config, error) {
 	if c.Workers <= 0 {
 		c.Workers = 8
 	}
+	if c.RateEnd < 0 || c.Rate < 0 {
+		return c, fmt.Errorf("loadgen: negative rates (rate %g, rate-end %g)", c.Rate, c.RateEnd)
+	}
+	if c.RateEnd > 0 && c.Rate == 0 {
+		return c, fmt.Errorf("loadgen: RateEnd requires an open loop (Rate > 0)")
+	}
 	if c.MaxInFlight <= 0 {
 		c.MaxInFlight = 256
 	}
@@ -250,11 +260,18 @@ type OpResult struct {
 	Name     string `json:"name"`
 	Requests int64  `json:"requests"`
 	// Errors are transport-level failures (no HTTP response); Non2xx are
-	// HTTP responses outside 2xx. Dropped counts open-loop dispatches shed
-	// because MaxInFlight was reached (never sent, not in Requests).
-	Errors        int64     `json:"errors"`
-	Non2xx        int64     `json:"non_2xx"`
-	Dropped       int64     `json:"dropped,omitempty"`
+	// HTTP responses outside 2xx, of which Status429 counts the admission-
+	// control shed (queue-full / over-capacity) subset. Dropped counts
+	// open-loop dispatches shed because MaxInFlight was reached (never
+	// sent, not in Requests).
+	Errors    int64 `json:"errors"`
+	Non2xx    int64 `json:"non_2xx"`
+	Status429 int64 `json:"status_429,omitempty"`
+	Dropped   int64 `json:"dropped,omitempty"`
+	// ThroughputRPS covers sent requests only. ErrorRate is the gate input:
+	// errors, non-2xx AND generator-side drops, over the offered load
+	// (Requests + Dropped) — a drop never reaches the latency histogram (it
+	// was never sent) but must not make the error rate look better.
 	ThroughputRPS float64   `json:"throughput_rps"`
 	ErrorRate     float64   `json:"error_rate"`
 	LatencyMs     LatencyMs `json:"latency_ms"`
@@ -310,6 +327,7 @@ type Report struct {
 	DurationSeconds float64 `json:"duration_seconds"`
 	Workers         int     `json:"workers"`
 	RateRPS         float64 `json:"rate_rps,omitempty"`
+	RateEndRPS      float64 `json:"rate_end_rps,omitempty"`
 	Tenants         int     `json:"tenants"`
 	Seed            int64   `json:"seed"`
 	// Results carries one row per active request type plus the "all"
@@ -329,13 +347,14 @@ func (r *Report) All() OpResult {
 
 // opStats accumulates one request type's measurements.
 type opStats struct {
-	name     string
-	requests atomic.Int64
-	errors   atomic.Int64
-	non2xx   atomic.Int64
-	dropped  atomic.Int64
-	hist     *metrics.Histogram
-	slow     *slowTracker
+	name      string
+	requests  atomic.Int64
+	errors    atomic.Int64
+	non2xx    atomic.Int64
+	status429 atomic.Int64
+	dropped   atomic.Int64
+	hist      *metrics.Histogram
+	slow      *slowTracker
 }
 
 type runner struct {
@@ -433,40 +452,71 @@ func (r *runner) closedLoop(ctx context.Context) {
 	wg.Wait()
 }
 
-// openLoop: dispatch on a fixed-rate clock, independent of response times.
-func (r *runner) openLoop(ctx context.Context) {
-	interval := time.Duration(float64(time.Second) / r.cfg.Rate)
-	if interval <= 0 {
-		interval = time.Microsecond
+// rateAt is the open loop's target dispatch rate after elapsed run time:
+// constant at Rate classically, or sliding linearly to RateEnd over the
+// configured Duration when a ramp was requested.
+func (r *runner) rateAt(elapsed time.Duration) float64 {
+	if r.cfg.RateEnd <= 0 || r.cfg.RateEnd == r.cfg.Rate {
+		return r.cfg.Rate
 	}
-	tick := time.NewTicker(interval)
-	defer tick.Stop()
+	frac := float64(elapsed) / float64(r.cfg.Duration)
+	if frac > 1 {
+		frac = 1
+	}
+	return r.cfg.Rate + (r.cfg.RateEnd-r.cfg.Rate)*frac
+}
+
+// openLoop: dispatch on a rate clock, independent of response times. The
+// next dispatch instant is scheduled in absolute time from the current
+// target rate, so a ramp stays an honest open loop: a slow server delays
+// nothing, and a generator that falls behind catches up in a burst rather
+// than silently rescaling the offered load.
+func (r *runner) openLoop(ctx context.Context) {
 	sem := make(chan struct{}, r.cfg.MaxInFlight)
 	rng := rand.New(rand.NewSource(r.cfg.Seed))
 	var wg sync.WaitGroup
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	if !timer.Stop() {
+		<-timer.C
+	}
+	start := time.Now()
+	next := start
 	for {
-		select {
-		case <-ctx.Done():
+		rate := r.rateAt(time.Since(start))
+		interval := time.Duration(float64(time.Second) / rate)
+		if interval <= 0 {
+			interval = time.Microsecond
+		}
+		next = next.Add(interval)
+		if d := time.Until(next); d > 0 {
+			timer.Reset(d)
+			select {
+			case <-ctx.Done():
+				wg.Wait()
+				return
+			case <-timer.C:
+			}
+		} else if ctx.Err() != nil {
 			wg.Wait()
 			return
-		case <-tick.C:
-			op := rng.Intn(len(r.ops))
-			// Per-request deterministic sub-seed: the worker rng below must
-			// not be shared across goroutines.
-			sub := rng.Int63()
-			select {
-			case sem <- struct{}{}:
-				wg.Add(1)
-				go func() {
-					defer func() { <-sem; wg.Done() }()
-					r.do(ctx, op, rand.New(rand.NewSource(sub)))
-				}()
-			default:
-				// The server (or the pool bound) can't keep up with the
-				// offered rate; shedding here keeps the clock honest instead
-				// of letting the generator degrade into a closed loop.
-				r.stats[r.ops[op]].dropped.Add(1)
-			}
+		}
+		op := rng.Intn(len(r.ops))
+		// Per-request deterministic sub-seed: the worker rng below must
+		// not be shared across goroutines.
+		sub := rng.Int63()
+		select {
+		case sem <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer func() { <-sem; wg.Done() }()
+				r.do(ctx, op, rand.New(rand.NewSource(sub)))
+			}()
+		default:
+			// The server (or the pool bound) can't keep up with the
+			// offered rate; shedding here keeps the clock honest instead
+			// of letting the generator degrade into a closed loop.
+			r.stats[r.ops[op]].dropped.Add(1)
 		}
 	}
 }
@@ -520,6 +570,9 @@ func (r *runner) do(ctx context.Context, opIdx int, rng *rand.Rand) {
 	}
 	if status/100 != 2 {
 		st.non2xx.Add(1)
+		if status == http.StatusTooManyRequests {
+			st.status429.Add(1)
+		}
 	}
 }
 
@@ -677,12 +730,53 @@ func tenantRegistration(name string) map[string]any {
 	}
 }
 
+// RegisterTenant registers the loadgen synthetic tenant fixture under the
+// given name against baseURL. Scenario churn and register-storm drivers
+// reuse it so the traffic ops' question corpus keeps resolving on whatever
+// tenant set a phase leaves behind. Returns the HTTP status without judging
+// it (201 created, 409 already there, 429/503 under pressure are all
+// interesting to a caller measuring churn).
+func RegisterTenant(ctx context.Context, client *http.Client, baseURL, name string) (int, error) {
+	data, err := json.Marshal(tenantRegistration(name))
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+"/v1/databases", bytes.NewReader(data))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// DeleteTenant unregisters a tenant database; the other half of a churn
+// cycle. Returns the HTTP status (204 gone, 404 never there).
+func DeleteTenant(ctx context.Context, client *http.Client, baseURL, name string) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, baseURL+"/v1/databases/"+name, nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
 // registerTenants registers the synthetic tenants (tolerating 409 from a
 // previous run against the same server).
 func (r *runner) registerTenants(ctx context.Context) error {
 	for i := 0; i < r.cfg.Tenants; i++ {
 		name := fmt.Sprintf("loadgen-%d", i)
-		status, err := r.post(ctx, "/v1/databases", tenantRegistration(name))
+		status, err := RegisterTenant(ctx, r.cfg.Client, r.target(), name)
 		if err != nil {
 			return fmt.Errorf("loadgen: registering tenant %s: %v", name, err)
 		}
@@ -707,6 +801,7 @@ func (r *runner) report(elapsed time.Duration) *Report {
 	if r.cfg.Rate > 0 {
 		rep.Mode = "open"
 		rep.RateRPS = r.cfg.Rate
+		rep.RateEndRPS = r.cfg.RateEnd
 	}
 	var (
 		agg      metrics.HistogramSnapshot
@@ -721,6 +816,7 @@ func (r *runner) report(elapsed time.Duration) *Report {
 		aggRow.Requests += row.Requests
 		aggRow.Errors += row.Errors
 		aggRow.Non2xx += row.Non2xx
+		aggRow.Status429 += row.Status429
 		aggRow.Dropped += row.Dropped
 		if !haveBase {
 			agg = snap
@@ -746,11 +842,12 @@ func (r *runner) report(elapsed time.Duration) *Report {
 
 func opRow(st *opStats, snap metrics.HistogramSnapshot, elapsed time.Duration) OpResult {
 	row := OpResult{
-		Name:     st.name,
-		Requests: st.requests.Load(),
-		Errors:   st.errors.Load(),
-		Non2xx:   st.non2xx.Load(),
-		Dropped:  st.dropped.Load(),
+		Name:      st.name,
+		Requests:  st.requests.Load(),
+		Errors:    st.errors.Load(),
+		Non2xx:    st.non2xx.Load(),
+		Status429: st.status429.Load(),
+		Dropped:   st.dropped.Load(),
 	}
 	row.ThroughputRPS = rps(row.Requests, elapsed)
 	row.ErrorRate = errorRate(row)
@@ -766,11 +863,17 @@ func rps(n int64, elapsed time.Duration) float64 {
 	return float64(n) / elapsed.Seconds()
 }
 
+// errorRate is the -max-error-rate gate input: transport errors, non-2xx
+// responses AND open-loop drops, over the offered load (sent + dropped).
+// A dropped dispatch never reaches the latency histogram — it was never
+// sent — but the generator shedding load is not a healthy system, so drops
+// must not make the error rate look better than the run was.
 func errorRate(row OpResult) float64 {
-	if row.Requests == 0 {
+	offered := row.Requests + row.Dropped
+	if offered == 0 {
 		return 0
 	}
-	return float64(row.Errors+row.Non2xx) / float64(row.Requests)
+	return float64(row.Errors+row.Non2xx+row.Dropped) / float64(offered)
 }
 
 func latencyMs(s metrics.HistogramSnapshot) LatencyMs {

@@ -258,4 +258,135 @@ func TestRunConfigValidation(t *testing.T) {
 	if _, err := Run(context.Background(), Config{BaseURL: "http://x"}); err == nil {
 		t.Error("missing Duration accepted")
 	}
+	if _, err := Run(context.Background(), Config{BaseURL: "http://x", Duration: time.Second, Rate: -1}); err == nil {
+		t.Error("negative Rate accepted")
+	}
+	if _, err := Run(context.Background(), Config{BaseURL: "http://x", Duration: time.Second, RateEnd: 50}); err == nil {
+		t.Error("RateEnd without an open loop accepted")
+	}
+}
+
+// stubServer serves just enough of the API surface for an /execute-only run:
+// target discovery plus a configurable execute handler.
+func stubServer(t *testing.T, execute http.HandlerFunc) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/databases", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode([]map[string]any{
+			{"name": "stub", "tables": []string{"t"}, "source": "benchmark"},
+		})
+	})
+	mux.HandleFunc("POST /v1/execute", execute)
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestOpenLoopRamp checks RateEnd turns the dispatch clock into a linear
+// ramp: 20->180 rps over the run averages ~100 rps, far from either
+// endpoint held constant (20 rps -> ~10 dispatches, 180 rps -> ~90).
+func TestOpenLoopRamp(t *testing.T) {
+	srv := stubServer(t, func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{}`))
+	})
+	rep, err := Run(context.Background(), Config{
+		BaseURL:  srv.URL,
+		Duration: 500 * time.Millisecond,
+		Rate:     20,
+		RateEnd:  180,
+		Mix:      Mix{Execute: 1},
+		Seed:     9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := rep.All()
+	total := all.Requests + all.Dropped
+	if total < 20 || total > 80 {
+		t.Errorf("ramp 20->180 over 500ms dispatched %d, want ~50", total)
+	}
+	if rep.RateRPS != 20 || rep.RateEndRPS != 180 {
+		t.Errorf("report rates = %g->%g, want 20->180", rep.RateRPS, rep.RateEndRPS)
+	}
+}
+
+// TestDropAccounting pins the open-loop shed semantics: dropped dispatches
+// never reach the latency histogram (they were never sent) but they do
+// count against the error-rate gate over the offered load.
+func TestDropAccounting(t *testing.T) {
+	srv := stubServer(t, func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(40 * time.Millisecond)
+		w.Write([]byte(`{}`))
+	})
+	rep, err := Run(context.Background(), Config{
+		BaseURL:     srv.URL,
+		Duration:    400 * time.Millisecond,
+		Rate:        300,
+		MaxInFlight: 1,
+		Mix:         Mix{Execute: 1},
+		Seed:        2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := rep.All()
+	if all.Dropped == 0 {
+		t.Fatal("MaxInFlight=1 against a 40ms handler at 300rps shed nothing")
+	}
+	if all.Errors != 0 || all.Non2xx != 0 {
+		t.Fatalf("stub produced failures: %+v", all)
+	}
+	want := float64(all.Dropped) / float64(all.Requests+all.Dropped)
+	if all.ErrorRate != want {
+		t.Errorf("ErrorRate = %g, want drops/offered = %g", all.ErrorRate, want)
+	}
+	// The histogram saw only the sent requests: with a 40ms floor per call
+	// every observed latency is real, and drops (instantaneous if counted)
+	// would have dragged the minimum toward zero.
+	if all.Requests > 0 && all.LatencyMs.P50 < 30 {
+		t.Errorf("p50 = %gms; drops leaked into the latency histogram", all.LatencyMs.P50)
+	}
+}
+
+func TestErrorRateFormula(t *testing.T) {
+	cases := []struct {
+		row  OpResult
+		want float64
+	}{
+		{OpResult{}, 0},
+		{OpResult{Requests: 80, Dropped: 20}, 0.2},
+		{OpResult{Dropped: 5}, 1},
+		{OpResult{Requests: 10, Errors: 1, Non2xx: 1}, 0.2},
+		{OpResult{Requests: 6, Errors: 1, Non2xx: 1, Dropped: 2}, 0.5},
+	}
+	for _, c := range cases {
+		if got := errorRate(c.row); got != c.want {
+			t.Errorf("errorRate(%+v) = %g, want %g", c.row, got, c.want)
+		}
+	}
+}
+
+// Test429Counting: 429 responses are tallied both as Non2xx and in the
+// Status429 subset scenario SLOs gate on.
+func Test429Counting(t *testing.T) {
+	srv := stubServer(t, func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTooManyRequests)
+	})
+	rep, err := Run(context.Background(), Config{
+		BaseURL:  srv.URL,
+		Duration: 200 * time.Millisecond,
+		Workers:  2,
+		Mix:      Mix{Execute: 1},
+		Seed:     4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := rep.All()
+	if all.Status429 == 0 || all.Status429 != all.Non2xx {
+		t.Fatalf("Status429 = %d, Non2xx = %d; want equal and positive", all.Status429, all.Non2xx)
+	}
+	if all.ErrorRate != 1 {
+		t.Errorf("all-429 run ErrorRate = %g, want 1", all.ErrorRate)
+	}
 }

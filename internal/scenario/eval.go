@@ -1,0 +1,122 @@
+package scenario
+
+import "fmt"
+
+// evalSLO turns a phase's SLO block into concrete pass/fail checks against
+// the measured traffic row and the scraped metric deltas.
+func evalSLO(p *Phase, pr *PhaseResult) []SLOCheck {
+	s := p.SLO
+	if s == nil {
+		return nil
+	}
+	var checks []SLOCheck
+	t := pr.Traffic
+	offered := t.Requests + t.Dropped
+
+	// A traffic phase whose generator sent nothing has no data to gate on:
+	// every latency/error bound would pass vacuously while the system was
+	// in fact unreachable or the plan was miswired. Fail fast and clearly.
+	// Register-storm phases gate on registrations/metric deltas instead.
+	if p.Kind != KindRegisterStorm && offered == 0 {
+		checks = append(checks, SLOCheck{
+			Name:   "phase_traffic",
+			Value:  0,
+			Bound:  1,
+			Passed: false,
+			Detail: "phase offered no requests; SLO cannot be evaluated",
+		})
+		return checks
+	}
+
+	if s.MaxErrorRate != nil {
+		checks = append(checks, SLOCheck{
+			Name:   "max_error_rate",
+			Value:  t.ErrorRate,
+			Bound:  *s.MaxErrorRate,
+			Passed: t.ErrorRate <= *s.MaxErrorRate,
+		})
+	}
+	if s.MaxP95Ms != nil {
+		checks = append(checks, SLOCheck{
+			Name:   "max_p95_ms",
+			Value:  t.LatencyMs.P95,
+			Bound:  *s.MaxP95Ms,
+			Passed: t.LatencyMs.P95 <= *s.MaxP95Ms,
+		})
+	}
+	if s.MaxP99Ms != nil {
+		checks = append(checks, SLOCheck{
+			Name:   "max_p99_ms",
+			Value:  t.LatencyMs.P99,
+			Bound:  *s.MaxP99Ms,
+			Passed: t.LatencyMs.P99 <= *s.MaxP99Ms,
+		})
+	}
+	if s.Max429Rate != nil {
+		rate := 0.0
+		if offered > 0 {
+			rate = float64(t.Status429) / float64(offered)
+		}
+		checks = append(checks, SLOCheck{
+			Name:   "max_429_rate",
+			Value:  rate,
+			Bound:  *s.Max429Rate,
+			Passed: rate <= *s.Max429Rate,
+		})
+	}
+	if s.Min429 != nil {
+		checks = append(checks, SLOCheck{
+			Name:   "min_429",
+			Value:  float64(t.Status429),
+			Bound:  float64(*s.Min429),
+			Passed: t.Status429 >= *s.Min429,
+			Detail: detailIf(t.Status429 < *s.Min429, "admission control never fired"),
+		})
+	}
+	if s.MinThroughputRPS != nil {
+		checks = append(checks, SLOCheck{
+			Name:   "min_throughput_rps",
+			Value:  t.ThroughputRPS,
+			Bound:  *s.MinThroughputRPS,
+			Passed: t.ThroughputRPS >= *s.MinThroughputRPS,
+		})
+	}
+	for _, d := range s.MetricDeltas {
+		delta, present := 0.0, false
+		if pr.MetricDeltas != nil {
+			delta, present = pr.MetricDeltas[d.Metric]
+		}
+		if !present {
+			checks = append(checks, SLOCheck{
+				Name:   "metric_delta:" + d.Metric,
+				Passed: false,
+				Detail: "metric absent from /v1/metrics",
+			})
+			continue
+		}
+		if d.Min != nil {
+			checks = append(checks, SLOCheck{
+				Name:   fmt.Sprintf("metric_delta:%s>=", d.Metric),
+				Value:  delta,
+				Bound:  *d.Min,
+				Passed: delta >= *d.Min,
+			})
+		}
+		if d.Max != nil {
+			checks = append(checks, SLOCheck{
+				Name:   fmt.Sprintf("metric_delta:%s<=", d.Metric),
+				Value:  delta,
+				Bound:  *d.Max,
+				Passed: delta <= *d.Max,
+			})
+		}
+	}
+	return checks
+}
+
+func detailIf(cond bool, s string) string {
+	if cond {
+		return s
+	}
+	return ""
+}

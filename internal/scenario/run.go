@@ -1,0 +1,461 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/benchfmt"
+	"repro/internal/loadgen"
+	"repro/internal/metrics"
+)
+
+// Options parameterizes a scenario run.
+type Options struct {
+	// BaseURL overrides the spec's target (required if the spec has none).
+	// A comma-separated list fans traffic round-robin, loadgen-style.
+	BaseURL string
+	// Client overrides the HTTP client used for control-plane calls
+	// (faults, scrapes, churn) — tests mostly. Traffic uses loadgen's
+	// pooled client regardless.
+	Client *http.Client
+	// Logf receives per-phase progress lines (nil discards them).
+	Logf func(format string, args ...any)
+}
+
+// Result is the machine-readable scenario report: provenance header, one
+// row per phase, and the overall verdict CI gates on.
+type Result struct {
+	benchfmt.Header
+	Scenario string        `json:"scenario"`
+	BaseURL  string        `json:"base_url"`
+	Seed     int64         `json:"seed"`
+	Passed   bool          `json:"passed"`
+	Phases   []PhaseResult `json:"phases"`
+}
+
+// PhaseResult is one phase's outcome.
+type PhaseResult struct {
+	Name            string  `json:"name"`
+	Kind            string  `json:"kind"`
+	DurationSeconds float64 `json:"duration_seconds"`
+	// Traffic is the loadgen aggregate ("all") row — zero-valued for
+	// register-storm phases, which generate no mix traffic.
+	Traffic loadgen.OpResult `json:"traffic"`
+	// Registrations reports the churn / register-storm side channel.
+	Registrations *RegistrationStats `json:"registrations,omitempty"`
+	// Brownout records whether a fault window was open during the phase.
+	Brownout *Brownout `json:"brownout,omitempty"`
+	// MetricDeltas holds the scraped movement of every family the phase's
+	// SLO asked about.
+	MetricDeltas map[string]float64 `json:"metric_deltas,omitempty"`
+	// Checks lists each SLO assertion and its verdict; Passed is their
+	// conjunction (vacuously true without an SLO).
+	Checks []SLOCheck `json:"checks,omitempty"`
+	Passed bool       `json:"passed"`
+}
+
+// SLOCheck is one evaluated assertion.
+type SLOCheck struct {
+	Name   string  `json:"name"`
+	Value  float64 `json:"value"`
+	Bound  float64 `json:"bound"`
+	Passed bool    `json:"passed"`
+	// Detail carries the failure explanation ("metric absent", "no
+	// requests sent") when the number pair alone doesn't tell the story.
+	Detail string `json:"detail,omitempty"`
+}
+
+// RegistrationStats counts tenant-registration side-channel outcomes.
+type RegistrationStats struct {
+	Attempts  int64 `json:"attempts"`
+	Created   int64 `json:"created"`   // 201
+	Conflicts int64 `json:"conflicts"` // 409 (re-register of a live name)
+	Deleted   int64 `json:"deleted"`   // 204 on the churn delete half
+	Rejected  int64 `json:"rejected"`  // 429/503 under pressure
+	Failed    int64 `json:"failed"`    // transport errors + other statuses
+}
+
+// Run executes the plan. Every phase runs even after an SLO failure —
+// the report marks which phases failed and Result.Passed is the global
+// conjunction. The returned error is reserved for plan-level breakage
+// (unreachable server, fault control plane missing); SLO violations are
+// data, not errors.
+func Run(ctx context.Context, spec *Spec, opts Options) (*Result, error) {
+	baseURL := opts.BaseURL
+	if baseURL == "" {
+		baseURL = spec.BaseURL
+	}
+	if baseURL == "" {
+		return nil, fmt.Errorf("scenario %s: no target (set base_url or -url)", spec.Name)
+	}
+	client := opts.Client
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	seed := spec.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	targets := splitTargets(baseURL)
+
+	res := &Result{
+		Header:   benchfmt.NewHeader(),
+		Scenario: spec.Name,
+		BaseURL:  baseURL,
+		Seed:     seed,
+		Passed:   true,
+	}
+	for i := range spec.Phases {
+		p := &spec.Phases[i]
+		logf("phase %d/%d %q (%s, %s)", i+1, len(spec.Phases), p.Name, p.Kind, time.Duration(p.Duration))
+		pr, err := runPhase(ctx, client, targets, spec, p, seed+int64(i)*7919)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: phase %q: %v", spec.Name, p.Name, err)
+		}
+		res.Phases = append(res.Phases, *pr)
+		if !pr.Passed {
+			res.Passed = false
+			logf("phase %q FAILED: %s", p.Name, failSummary(pr.Checks))
+		} else {
+			logf("phase %q ok: %d requests, %d 429, err-rate %.4f",
+				p.Name, pr.Traffic.Requests, pr.Traffic.Status429, pr.Traffic.ErrorRate)
+		}
+	}
+	return res, nil
+}
+
+func splitTargets(baseURL string) []string {
+	var targets []string
+	for _, t := range strings.Split(baseURL, ",") {
+		if t = strings.TrimRight(strings.TrimSpace(t), "/"); t != "" {
+			targets = append(targets, t)
+		}
+	}
+	return targets
+}
+
+func failSummary(checks []SLOCheck) string {
+	var parts []string
+	for _, c := range checks {
+		if !c.Passed {
+			s := fmt.Sprintf("%s %g vs %g", c.Name, c.Value, c.Bound)
+			if c.Detail != "" {
+				s += " (" + c.Detail + ")"
+			}
+			parts = append(parts, s)
+		}
+	}
+	return strings.Join(parts, "; ")
+}
+
+func runPhase(ctx context.Context, client *http.Client, targets []string, spec *Spec, p *Phase, seed int64) (*PhaseResult, error) {
+	pr := &PhaseResult{
+		Name:            p.Name,
+		Kind:            p.Kind,
+		DurationSeconds: time.Duration(p.Duration).Seconds(),
+		Brownout:        p.Brownout,
+	}
+
+	// Opening metrics scrape, only when the SLO gates on deltas.
+	var before map[string]float64
+	if p.SLO != nil && len(p.SLO.MetricDeltas) > 0 {
+		var err error
+		if before, err = scrapeAll(ctx, client, targets); err != nil {
+			return nil, fmt.Errorf("pre-phase metrics scrape: %v", err)
+		}
+	}
+
+	if p.Brownout != nil {
+		if err := setBrownout(ctx, client, targets, true, p.Brownout); err != nil {
+			return nil, err
+		}
+		// The window closes no matter how the phase ends; a scenario must
+		// not leak a brownout into its successors (or a rerun).
+		defer setBrownout(context.WithoutCancel(ctx), client, targets, false, nil)
+	}
+
+	phaseCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// Side-channel drivers run for the traffic window and are joined
+	// before SLO evaluation.
+	var (
+		wg  sync.WaitGroup
+		reg *RegistrationStats
+	)
+	switch p.Kind {
+	case KindChurn:
+		reg = &RegistrationStats{}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			churnDriver(phaseCtx, client, targets[0], p, reg)
+		}()
+	case KindRegisterStorm:
+		reg = &RegistrationStats{}
+	}
+
+	if p.Kind == KindRegisterStorm {
+		stormDriver(ctx, client, targets[0], p, seed, reg)
+	} else {
+		rep, err := loadgen.Run(ctx, trafficConfig(spec, p, strings.Join(targets, ","), seed))
+		cancel() // stop the churner with the traffic
+		wg.Wait()
+		if err != nil {
+			return nil, err
+		}
+		pr.Traffic = rep.All()
+	}
+	pr.Registrations = reg
+
+	// Close the fault window before the settle and the closing scrape: the
+	// phase's own recovery measurements (and the llm_fault_brownout gauge)
+	// must see the window shut. The deferred close above stays as a safety
+	// net for error paths — closing twice is idempotent.
+	if p.Brownout != nil {
+		if err := setBrownout(ctx, client, targets, false, nil); err != nil {
+			return nil, err
+		}
+	}
+
+	if p.Settle > 0 {
+		select {
+		case <-time.After(time.Duration(p.Settle)):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+
+	if p.SLO != nil && len(p.SLO.MetricDeltas) > 0 {
+		after, err := scrapeAll(ctx, client, targets)
+		if err != nil {
+			return nil, fmt.Errorf("post-phase metrics scrape: %v", err)
+		}
+		pr.MetricDeltas = map[string]float64{}
+		for _, d := range p.SLO.MetricDeltas {
+			bv, bok := sumIfPresent(before, d.Metric)
+			av, aok := sumIfPresent(after, d.Metric)
+			if bok || aok {
+				pr.MetricDeltas[d.Metric] = av - bv
+			}
+		}
+	}
+
+	pr.Checks = evalSLO(p, pr)
+	pr.Passed = true
+	for _, c := range pr.Checks {
+		if !c.Passed {
+			pr.Passed = false
+		}
+	}
+	return pr, nil
+}
+
+// trafficConfig maps a traffic phase onto a loadgen run.
+func trafficConfig(spec *Spec, p *Phase, baseURL string, seed int64) loadgen.Config {
+	cfg := loadgen.Config{
+		BaseURL:     baseURL,
+		Duration:    time.Duration(p.Duration),
+		MaxInFlight: p.MaxInFlight,
+		Tasks:       spec.Tasks,
+		BatchSize:   spec.BatchSize,
+		Seed:        seed,
+	}
+	mixStr := spec.Mix
+	if p.Mix != "" {
+		mixStr = p.Mix
+	}
+	if p.Kind == KindSaturateJobs && p.Mix == "" {
+		mixStr = "jobs=1"
+	}
+	// Validate() already vetted the string; an empty one selects the default.
+	cfg.Mix, _ = loadgen.ParseMix(mixStr)
+	cfg.Tenants = spec.Tenants
+	if p.Tenants != nil {
+		cfg.Tenants = *p.Tenants
+		if cfg.Tenants < 0 {
+			cfg.Tenants = 0
+		}
+	}
+	switch {
+	case p.Kind == KindRamp:
+		cfg.Rate = p.StartRPS
+		if cfg.Rate == 0 {
+			cfg.Rate = 1
+		}
+		cfg.RateEnd = p.RPS
+	case p.RPS > 0:
+		cfg.Rate = p.RPS
+	default:
+		cfg.Workers = p.Workers
+	}
+	return cfg
+}
+
+// churnDriver cycles the "churn-*" tenant set: register the full set, then
+// delete + re-register round-robin on the configured cadence until the
+// phase's traffic window closes.
+func churnDriver(ctx context.Context, client *http.Client, baseURL string, p *Phase, reg *RegistrationStats) {
+	n := p.ChurnTenants
+	if n <= 0 {
+		n = 2
+	}
+	name := func(i int) string { return fmt.Sprintf("churn-%d", i%n) }
+	for i := 0; i < n; i++ {
+		status, err := loadgen.RegisterTenant(ctx, client, baseURL, name(i))
+		countReg(reg, status, err)
+	}
+	tick := time.NewTicker(time.Duration(p.ChurnInterval))
+	defer tick.Stop()
+	for i := 0; ; i++ {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		if status, err := loadgen.DeleteTenant(ctx, client, baseURL, name(i)); err == nil && status == http.StatusNoContent {
+			reg.Deleted++
+		}
+		status, err := loadgen.RegisterTenant(ctx, client, baseURL, name(i))
+		countReg(reg, status, err)
+	}
+}
+
+// stormDriver issues fresh-tenant registrations open-loop at p.RPS for the
+// phase duration, then best-effort deletes what it created so the storm
+// doesn't permanently crowd the catalog (LRU eviction of longer-lived
+// tenants mid-scenario is exactly the kind of surprise a plan shouldn't
+// leave behind).
+func stormDriver(ctx context.Context, client *http.Client, baseURL string, p *Phase, seed int64, reg *RegistrationStats) {
+	interval := time.Duration(float64(time.Second) / p.RPS)
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	deadline := time.Now().Add(time.Duration(p.Duration))
+	var created []string
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for i := 0; time.Now().Before(deadline); i++ {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		name := fmt.Sprintf("storm-%d-%d", seed%1000, i)
+		status, err := loadgen.RegisterTenant(ctx, client, baseURL, name)
+		countReg(reg, status, err)
+		if err == nil && status == http.StatusCreated {
+			created = append(created, name)
+		}
+	}
+	cleanupCtx, cancel := context.WithTimeout(context.WithoutCancel(ctx), 10*time.Second)
+	defer cancel()
+	for _, name := range created {
+		if status, err := loadgen.DeleteTenant(cleanupCtx, client, baseURL, name); err == nil && status == http.StatusNoContent {
+			reg.Deleted++
+		}
+	}
+}
+
+func countReg(reg *RegistrationStats, status int, err error) {
+	reg.Attempts++
+	switch {
+	case err != nil:
+		reg.Failed++
+	case status == http.StatusCreated:
+		reg.Created++
+	case status == http.StatusConflict:
+		reg.Conflicts++
+	case status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable:
+		reg.Rejected++
+	default:
+		reg.Failed++
+	}
+}
+
+// setBrownout drives the server's fault control plane on every target.
+func setBrownout(ctx context.Context, client *http.Client, targets []string, on bool, b *Brownout) error {
+	body := `{"brownout": false}`
+	if on {
+		body = fmt.Sprintf(`{"brownout": true, "latency_ms": %g, "error_rate": %g}`, b.LatencyMs, b.ErrorRate)
+	}
+	for _, target := range targets {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, target+"/v1/faults", strings.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			return fmt.Errorf("fault control plane at %s: %v", target, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("fault control plane at %s: HTTP %d (is the server running with -llm-fault?)", target, resp.StatusCode)
+		}
+	}
+	return nil
+}
+
+// scrapeAll fetches and parses /v1/metrics from every target, summing the
+// series sample-by-sample; SumSamples over the merged map then gives the
+// fleet-wide family total.
+func scrapeAll(ctx context.Context, client *http.Client, targets []string) (map[string]float64, error) {
+	merged := map[string]float64{}
+	for _, target := range targets {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, target+"/v1/metrics", nil)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return nil, fmt.Errorf("scraping %s: %v", target, err)
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, fmt.Errorf("scraping %s: %v", target, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("scraping %s: HTTP %d", target, resp.StatusCode)
+		}
+		samples, err := metrics.ParseExposition(data)
+		if err != nil {
+			return nil, fmt.Errorf("scraping %s: %v", target, err)
+		}
+		for k, v := range samples {
+			merged[k] += v
+		}
+	}
+	return merged, nil
+}
+
+// sumIfPresent is SumSamples plus a presence bit, so an SLO on a metric the
+// server never exported fails loudly instead of gating on an implicit zero.
+func sumIfPresent(samples map[string]float64, name string) (float64, bool) {
+	found := false
+	for key := range samples {
+		base := key
+		if i := strings.IndexByte(base, '{'); i >= 0 {
+			base = base[:i]
+		}
+		if base == name {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return 0, false
+	}
+	return metrics.SumSamples(samples, name), true
+}

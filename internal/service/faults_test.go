@@ -1,0 +1,94 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/llm"
+	"repro/internal/spider"
+)
+
+// TestFaultControlEndpoint drives the brownout window over HTTP: shape and
+// open it in one POST, observe it on GET, close it, and confirm an absent
+// fault layer leaves the routes unmounted.
+func TestFaultControlEndpoint(t *testing.T) {
+	corpus := spider.GenerateSmall(5, 0.04)
+	fault := llm.NewFault(llm.FaultConfig{})
+	client := fault.Wrap(llm.NewSim(llm.ChatGPT))
+	p := core.New(corpus.Train.Examples, client, core.DefaultConfig())
+	srv := httptest.NewServer(New(p, corpus, WithFault(fault)).Handler())
+	defer srv.Close()
+
+	post := func(body string) FaultStateResponse {
+		t.Helper()
+		resp, err := http.Post(srv.URL+"/v1/faults", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST /v1/faults %s = %d", body, resp.StatusCode)
+		}
+		var out FaultStateResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	st := post(`{"brownout": true, "latency_ms": 12.5, "error_rate": 0.5}`)
+	if !st.Brownout || st.Window.LatencyMs != 12.5 || st.Window.ErrorRate != 0.5 {
+		t.Fatalf("brownout open state = %+v", st)
+	}
+	if !fault.Brownout() {
+		t.Fatal("POST did not open the brownout window on the control plane")
+	}
+
+	resp, err := http.Get(srv.URL + "/v1/faults")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got FaultStateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !got.Brownout || got.Window.LatencyMs != 12.5 {
+		t.Fatalf("GET state = %+v", got)
+	}
+
+	if st = post(`{"brownout": false}`); st.Brownout || fault.Brownout() {
+		t.Fatal("brownout did not close")
+	}
+	// The window regime survives the close (the next toggle reuses it).
+	if st.Window.ErrorRate != 0.5 {
+		t.Errorf("window regime lost on close: %+v", st.Window)
+	}
+
+	for _, bad := range []string{`{"error_rate": 2}`, `{"latency_ms": -1}`, `not json`} {
+		resp, err := http.Post(srv.URL+"/v1/faults", "application/json", strings.NewReader(bad))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("POST %s = %d, want 400", bad, resp.StatusCode)
+		}
+	}
+
+	// Without WithFault the control surface must not exist.
+	plain := httptest.NewServer(New(p, corpus).Handler())
+	defer plain.Close()
+	resp, err = http.Get(plain.URL + "/v1/faults")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("GET /v1/faults without WithFault = %d, want 404", resp.StatusCode)
+	}
+}

@@ -35,6 +35,7 @@ type Server struct {
 	corpus   *spider.Corpus
 	byDB     map[string][]*spider.Example
 	cache    *llm.Cache
+	fault    *llm.Fault
 	jobs     *jobs.Manager
 	catalog  *catalog.Catalog
 	metrics  *serverMetrics
@@ -60,6 +61,13 @@ type Option func(*Server)
 // WithCache exposes an LLM cache's counters on /v1/stats. Pass the same
 // *llm.Cache the pipeline's client was wrapped with.
 func WithCache(c *llm.Cache) Option { return func(s *Server) { s.cache = c } }
+
+// WithFault mounts the fault-injection control surface (GET/POST /v1/faults)
+// for a chaos run: POST toggles the Fault's brownout window (optionally
+// reshaping it), GET reports regimes and injection counters. Pass the same
+// *llm.Fault the server's LLM clients were wrapped with; the injection
+// counters additionally export as llm_fault_* when metrics are enabled.
+func WithFault(f *llm.Fault) Option { return func(s *Server) { s.fault = f } }
 
 // WithWorkers sets the default /v1/batch worker-pool size (default 4).
 func WithWorkers(n int) Option { return func(s *Server) { s.workers = n } }
@@ -166,6 +174,9 @@ func New(p *core.Pipeline, c *spider.Corpus, opts ...Option) *Server {
 		if s.catalog != nil {
 			s.catalog.Instrument(s.metrics.reg)
 		}
+		if s.fault != nil {
+			s.fault.Instrument(s.metrics.reg)
+		}
 	}
 	return s
 }
@@ -215,6 +226,10 @@ func (s *Server) Handler() http.Handler {
 		handle("PUT /v1/databases/{name}", s.handleDatabaseReplace)
 		handle("DELETE /v1/databases/{name}", s.handleDatabaseDelete)
 		handle("POST /v1/databases/{name}/adopt", s.handleDatabaseAdopt)
+	}
+	if s.fault != nil {
+		handle("GET /v1/faults", s.handleFaultGet)
+		handle("POST /v1/faults", s.handleFaultSet)
 	}
 	if s.jobs != nil {
 		handle("POST /v1/jobs", s.handleJobCreate)
